@@ -1,0 +1,95 @@
+// §III-B / §IV-C mechanism check (Fig. 3 + the InnerGrad analysis): does DN
+// actually raise cross-domain gradient alignment relative to Alternate
+// training and PCGrad?
+//
+// For each framework we train on a conflict-heavy dataset and measure, after
+// every epoch, the pairwise inner products / cosines of per-domain full-batch
+// gradients at the current parameters. Expected shape: DN ends with a higher
+// mean cosine and a lower conflict rate (fraction of negative pairs) than
+// Alternate; PCGrad sits in between (it removes conflicts per step but does
+// not move parameters toward agreement). A second sweep shows the dataset's
+// conflict knob is real: higher conflict level -> higher observed conflict
+// rate under plain training.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/conflict_probe.h"
+#include "optim/param_snapshot.h"
+
+using namespace mamdr;
+
+namespace {
+
+metrics::ConflictReport ProbeConflict(models::CtrModel* model,
+                                      const data::MultiDomainDataset& ds) {
+  auto params = model->Parameters();
+  Rng rng(1);
+  nn::Context ctx{true, &rng};
+  std::vector<Tensor> grads;
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    for (auto& p : params) p.ZeroGrad();
+    data::Batch b = data::Batcher::All(ds.domain(d).train);
+    model->Loss(b, d, ctx).Backward();
+    grads.push_back(optim::Flatten(optim::GradSnapshot(params)));
+  }
+  return metrics::MeasureConflict(grads);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Conflict probe: gradient alignment across domains");
+
+  // Part 1: alignment trajectory per framework.
+  {
+    data::SyntheticConfig gen = data::TaobaoLike(10, 1.0, 17);
+    for (auto& d : gen.domains) d.conflict = 0.8;  // conflict-heavy
+    auto ds = data::Generate(gen).value();
+    const auto mc = bench::BenchModelConfig(ds);
+
+    std::printf("dataset: %s (conflict=0.8)\n\n", ds.name().c_str());
+    std::printf("%-12s %8s %12s %14s\n", "framework", "epoch", "mean cosine",
+                "conflict rate");
+    for (const char* fw_name : {"Alternate", "PCGrad", "DN"}) {
+      Rng rng(mc.seed);
+      auto model = models::CreateModel("MLP", mc, &rng).value();
+      auto tc = bench::BenchTrainConfig(/*epochs=*/8, 3);
+      auto fw =
+          core::CreateFramework(fw_name, model.get(), &ds, tc).value();
+      for (int64_t e = 1; e <= tc.epochs; ++e) {
+        fw->TrainEpoch();
+        if (e % 4 == 0) {
+          const auto report = ProbeConflict(model.get(), ds);
+          std::printf("%-12s %8lld %12.4f %14.3f\n", fw_name,
+                      static_cast<long long>(e), report.mean_cosine,
+                      report.conflict_rate);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+
+  // Part 2: the generator's conflict knob controls observed conflict.
+  {
+    std::printf("\nconflict knob sweep (Alternate, epoch 4):\n");
+    std::printf("%-16s %12s %14s\n", "conflict level", "mean cosine",
+                "conflict rate");
+    for (double level : {0.0, 0.4, 0.8}) {
+      data::SyntheticConfig gen = data::TaobaoLike(10, 1.0, 23);
+      for (auto& d : gen.domains) d.conflict = level;
+      auto ds = data::Generate(gen).value();
+      const auto mc = bench::BenchModelConfig(ds);
+      Rng rng(mc.seed);
+      auto model = models::CreateModel("MLP", mc, &rng).value();
+      auto tc = bench::BenchTrainConfig(/*epochs=*/4, 3);
+      auto fw =
+          core::CreateFramework("Alternate", model.get(), &ds, tc).value();
+      fw->Train();
+      const auto report = ProbeConflict(model.get(), ds);
+      std::printf("%-16.1f %12.4f %14.3f\n", level, report.mean_cosine,
+                  report.conflict_rate);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

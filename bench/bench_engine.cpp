@@ -1,0 +1,131 @@
+// google-benchmark microbenchmarks of the engine primitives the training
+// frameworks are built on: matmul kernels, autograd forward/backward,
+// embedding lookup, optimizer steps and parameter snapshots. These bound
+// the per-sample training cost of every experiment bench.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/random.h"
+#include "models/registry.h"
+#include "optim/adam.h"
+#include "optim/param_snapshot.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace {
+
+Tensor RandTensor(const Shape& shape, Rng* rng) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(rng->Normal());
+  }
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandTensor({n, n}, &rng);
+  Tensor b = RandTensor({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  autograd::Var w1(RandTensor({64, 64}, &rng), true);
+  autograd::Var w2(RandTensor({64, 32}, &rng), true);
+  autograd::Var w3(RandTensor({32, 1}, &rng), true);
+  Tensor x = RandTensor({batch, 64}, &rng);
+  Tensor labels({batch, 1});
+  for (int64_t i = 0; i < batch; ++i) labels.at(i) = i % 2 ? 1.0f : 0.0f;
+  for (auto _ : state) {
+    for (auto& p : {w1, w2, w3}) {
+      autograd::Var v = p;
+      v.ZeroGrad();
+    }
+    autograd::Var h = autograd::Relu(autograd::MatMul(autograd::Var(x), w1));
+    h = autograd::Relu(autograd::MatMul(h, w2));
+    autograd::Var loss =
+        autograd::BceWithLogitsMean(autograd::MatMul(h, w3), labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value().at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(256);
+
+void BM_EmbeddingLookupBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  autograd::Var table(RandTensor({10000, 16}, &rng), true);
+  std::vector<int64_t> ids(static_cast<size_t>(batch));
+  for (auto& id : ids) id = static_cast<int64_t>(rng.UniformInt(10000));
+  for (auto _ : state) {
+    table.ZeroGrad();
+    autograd::Var out = autograd::EmbeddingLookup(table, ids);
+    autograd::Sum(autograd::Square(out)).Backward();
+    benchmark::DoNotOptimize(table.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EmbeddingLookupBackward)->Arg(256);
+
+void BM_AdamStep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  autograd::Var p(RandTensor({n}, &rng), true);
+  p.ZeroGrad();
+  for (int64_t i = 0; i < n; ++i) p.mutable_grad().at(i) = 0.01f;
+  optim::Adam opt({p}, 1e-3f);
+  for (auto _ : state) {
+    opt.Step();
+    benchmark::DoNotOptimize(p.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdamStep)->Arg(100000);
+
+void BM_ParamSnapshotRestore(benchmark::State& state) {
+  Rng rng(5);
+  // A realistic model's parameter vector.
+  auto ds_users = 4000, ds_items = 1500;
+  models::ModelConfig mc;
+  mc.num_users = ds_users;
+  mc.num_items = ds_items;
+  mc.num_domains = 10;
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  auto params = model->Parameters();
+  for (auto _ : state) {
+    auto snap = optim::Snapshot(params);
+    optim::Restore(params, snap);
+    benchmark::DoNotOptimize(snap.size());
+  }
+  state.SetItemsProcessed(state.iterations() * model->NumParameters());
+}
+BENCHMARK(BM_ParamSnapshotRestore);
+
+void BM_MetaInterpolate(benchmark::State& state) {
+  Rng rng(6);
+  models::ModelConfig mc;
+  mc.num_users = 4000;
+  mc.num_items = 1500;
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  auto params = model->Parameters();
+  auto snap = optim::Snapshot(params);
+  for (auto _ : state) {
+    optim::MetaInterpolate(params, snap, 0.5f);
+    benchmark::DoNotOptimize(params.size());
+  }
+  state.SetItemsProcessed(state.iterations() * model->NumParameters());
+}
+BENCHMARK(BM_MetaInterpolate);
+
+}  // namespace
+}  // namespace mamdr
+
+BENCHMARK_MAIN();

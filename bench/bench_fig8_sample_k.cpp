@@ -1,0 +1,31 @@
+// Figure 8: average AUC of MLP+MAMDR on Taobao-30 under different DR
+// sample numbers k.
+//
+// Expected shape: AUC rises with k up to a moderate value (the paper finds
+// a peak around k=5), then flattens or drops — too many helper domains pull
+// the specific parameters away from the shared ones.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace mamdr;
+
+int main() {
+  bench::PrintHeader("Figure 8: AUC vs DR sample number k (Taobao-30)");
+
+  auto result = data::Generate(data::TaobaoLike(30, 0.7, 17));
+  MAMDR_CHECK(result.ok()) << result.status().ToString();
+  const auto& ds = result.value();
+  const auto mc = bench::BenchModelConfig(ds);
+
+  std::printf("%-6s %s\n", "k", "avg test AUC");
+  for (int64_t k : {1, 3, 5, 10}) {
+    auto tc = bench::BenchTrainConfig(/*epochs=*/6, k);
+    tc.dr_max_batches = 2;
+    const auto aucs = bench::RunMethod("MLP", "MAMDR", ds, mc, tc);
+    std::printf("%-6lld %.4f\n", static_cast<long long>(k),
+                bench::Mean(aucs));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared driver code for the experiment benches (one binary per paper
+// table/figure; see DESIGN.md §4 for the index).
+#ifndef MAMDR_BENCH_BENCH_UTIL_H_
+#define MAMDR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework_registry.h"
+#include "data/synthetic.h"
+#include "metrics/rank_table.h"
+#include "models/registry.h"
+
+namespace mamdr {
+namespace bench {
+
+/// Standard bench-scale hyper-parameters (§V-C scaled to laptop).
+inline core::TrainConfig BenchTrainConfig(int64_t epochs = 12,
+                                          int64_t dr_sample_k = 3) {
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 256;
+  tc.inner_lr = 1e-3f;
+  tc.outer_lr = 0.5f;
+  tc.dr_lr = 0.5f;
+  tc.dr_sample_k = dr_sample_k;
+  tc.dr_max_batches = 3;
+  tc.finetune_epochs = 2;
+  tc.seed = 42;
+  return tc;
+}
+
+/// Standard bench-scale model config.
+inline models::ModelConfig BenchModelConfig(
+    const data::MultiDomainDataset& ds, uint64_t seed = 7) {
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 16;
+  mc.hidden = {64, 32};
+  mc.expert_hidden = {64};
+  mc.tower_hidden = {16};
+  mc.attn_heads = 2;
+  mc.attn_head_dim = 8;
+  mc.seed = seed;
+  return mc;
+}
+
+/// Train `framework_name` over `model_name` and return per-domain *test*
+/// AUC at the epoch with the best average *validation* AUC (the standard
+/// selection rule; the paper trains with early stopping on validation).
+inline std::vector<double> RunMethod(const std::string& model_name,
+                                     const std::string& framework_name,
+                                     const data::MultiDomainDataset& ds,
+                                     const models::ModelConfig& mc,
+                                     const core::TrainConfig& tc,
+                                     int num_seeds = 1) {
+  std::vector<double> accum(static_cast<size_t>(ds.num_domains()), 0.0);
+  for (int s = 0; s < num_seeds; ++s) {
+    models::ModelConfig mcs = mc;
+    mcs.seed = mc.seed + static_cast<uint64_t>(s) * 1009;
+    core::TrainConfig tcs = tc;
+    tcs.seed = tc.seed + static_cast<uint64_t>(s) * 2003;
+    Rng rng(mcs.seed);
+    auto model = models::CreateModel(model_name, mcs, &rng);
+    MAMDR_CHECK(model.ok()) << model.status().ToString();
+    auto fw = core::CreateFramework(framework_name, model.value().get(), &ds,
+                                    tcs);
+    MAMDR_CHECK(fw.ok()) << fw.status().ToString();
+
+    double best_val = -1.0;
+    std::vector<double> best_test;
+    for (int64_t e = 0; e < tcs.epochs; ++e) {
+      fw.value()->TrainEpoch();
+      const auto val = fw.value()->Evaluate(metrics::Split::kVal);
+      double avg_val = 0.0;
+      for (double a : val) avg_val += a;
+      avg_val /= static_cast<double>(val.size());
+      if (avg_val > best_val) {
+        best_val = avg_val;
+        best_test = fw.value()->Evaluate(metrics::Split::kTest);
+      }
+    }
+    for (size_t d = 0; d < accum.size(); ++d) accum[d] += best_test[d];
+  }
+  for (double& a : accum) a /= static_cast<double>(num_seeds);
+  return accum;
+}
+
+/// Average of a per-domain AUC vector.
+inline double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace mamdr
+
+#endif  // MAMDR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Scenario: distributed training on the PS-Worker architecture (§IV-E).
+//
+// Spins up a parameter server and several workers, partitions the domains,
+// trains MAMDR (DN on shared parameters + per-worker DR for owned domains),
+// and prints the PS traffic accounting that the static/dynamic embedding
+// cache saves.
+//
+//   ./build/examples/distributed_training
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "ps/distributed_mamdr.h"
+
+using namespace mamdr;
+
+int main() {
+  auto ds_result = data::Generate(data::TaobaoLike(20, 1.0, 11));
+  if (!ds_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 ds_result.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = std::move(ds_result).value();
+
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 16;
+  mc.hidden = {64, 32};
+
+  ps::DistributedConfig dc;
+  dc.num_workers = 4;
+  dc.model_name = "MLP";
+  dc.use_embedding_cache = true;
+  dc.run_dr = true;  // per-worker Domain Regularization for owned domains
+  dc.train.epochs = 8;
+  dc.train.batch_size = 256;
+  dc.train.outer_lr = 0.5f;
+  dc.train.dr_sample_k = 3;
+  dc.train.dr_max_batches = 2;
+
+  ps::DistributedMamdr dist(mc, &ds, dc);
+  std::printf("domains -> workers: ");
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    std::printf("%lld->W%lld ", static_cast<long long>(d),
+                static_cast<long long>(dist.OwnerOf(d)));
+  }
+  std::printf("\n\n");
+
+  for (int64_t e = 1; e <= dc.train.epochs; ++e) {
+    dist.TrainEpoch();
+    if (e % 2 == 0) {
+      std::printf("epoch %2lld  avg test AUC = %.4f\n",
+                  static_cast<long long>(e), dist.AverageTestAuc());
+    }
+  }
+
+  const auto stats = dist.server()->stats();
+  std::printf("\nPS traffic with the embedding cache:\n");
+  std::printf("  pull ops: %llu   rows pulled: %llu (%.2f MB)\n",
+              static_cast<unsigned long long>(stats.pull_ops),
+              static_cast<unsigned long long>(stats.rows_pulled),
+              static_cast<double>(stats.bytes_pulled) / 1e6);
+  std::printf("  push ops: %llu   rows pushed: %llu (%.2f MB)\n",
+              static_cast<unsigned long long>(stats.push_ops),
+              static_cast<unsigned long long>(stats.rows_pushed),
+              static_cast<double>(stats.bytes_pushed) / 1e6);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scenario: onboarding a new domain on the MDR platform (Fig. 2).
+//
+// The platform serves N domains with a trained MAMDR model. A new promotion
+// scenario launches: its users/items are registered in the global feature
+// storage, the store grows zero-initialized specific parameters, and the
+// domain serves *immediately* from the shared parameters — then sharpens
+// with a few DR epochs, without touching the other domains' parameters.
+//
+//   ./build/examples/new_domain_onboarding
+#include <cstdio>
+
+#include "core/mamdr.h"
+#include "data/synthetic.h"
+#include "metrics/auc.h"
+#include "models/registry.h"
+
+using namespace mamdr;
+
+int main() {
+  // Generate 9 domains; hold the last one back as "the new scenario".
+  auto full_result = data::Generate(data::TaobaoLike(10, 1.0, 13));
+  if (!full_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 full_result.status().ToString().c_str());
+    return 1;
+  }
+  auto full = std::move(full_result).value();
+  data::MultiDomainDataset live("live", full.num_users(), full.num_items());
+  for (int64_t d = 0; d + 1 < full.num_domains(); ++d) {
+    MAMDR_CHECK(live.AddDomain(full.domain(d)).ok());
+  }
+
+  models::ModelConfig mc;
+  mc.num_users = live.num_users();
+  mc.num_items = live.num_items();
+  mc.num_domains = live.num_domains();
+  mc.embedding_dim = 16;
+  mc.hidden = {64, 32};
+
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 256;
+  tc.dr_sample_k = 3;
+
+  Rng rng(mc.seed);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  core::Mamdr mamdr(model.get(), &live, tc);
+  std::printf("training on %lld live domains...\n",
+              static_cast<long long>(live.num_domains()));
+  mamdr.Train();
+  std::printf("live avg test AUC: %.4f\n", mamdr.AverageTestAuc());
+
+  // --- Onboarding ---
+  std::printf("\nonboarding new domain '%s' (%lld samples)\n",
+              full.domain(9).name.c_str(),
+              static_cast<long long>(full.domain(9).TotalSamples()));
+  MAMDR_CHECK(live.AddDomain(full.domain(9)).ok());
+  const int64_t new_id = mamdr.AddDomain();
+
+  auto new_domain_auc = [&] {
+    data::Batch batch = data::Batcher::All(live.domain(new_id).test);
+    auto scores = mamdr.Scorer()(batch, new_id);
+    return metrics::Auc(scores, batch.labels);
+  };
+
+  // Cold start: the composite equals the shared parameters.
+  std::printf("cold-start AUC (shared params only): %.4f\n",
+              new_domain_auc());
+
+  // A few more MAMDR epochs now include the new domain's DN pass and DR.
+  for (int e = 1; e <= 4; ++e) {
+    mamdr.TrainEpoch();
+    std::printf("after epoch %d: new-domain AUC = %.4f\n", e,
+                new_domain_auc());
+  }
+  std::printf("\nfinal avg test AUC across all %lld domains: %.4f\n",
+              static_cast<long long>(live.num_domains()),
+              mamdr.AverageTestAuc());
+  return 0;
+}

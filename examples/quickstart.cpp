@@ -1,0 +1,64 @@
+// Quickstart: generate a multi-domain CTR dataset, train a plain MLP with
+// Alternate training and with MAMDR, and compare per-domain test AUC.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/alternate.h"
+#include "core/mamdr.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "models/registry.h"
+
+using namespace mamdr;
+
+int main() {
+  // 1. A small Taobao-like benchmark: 10 domains, published shares/ratios.
+  data::SyntheticConfig gen = data::TaobaoLike(10, /*scale=*/0.5, /*seed=*/7);
+  auto ds_result = data::Generate(gen);
+  if (!ds_result.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 ds_result.status().ToString().c_str());
+    return 1;
+  }
+  data::MultiDomainDataset ds = std::move(ds_result).value();
+  std::printf("%s\n", data::FormatStats(data::ComputeStats(ds), false).c_str());
+
+  // 2. Any model structure works; MAMDR never looks inside it.
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 8;
+  mc.hidden = {32, 16};
+
+  core::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 128;
+  tc.inner_lr = 1e-3f;
+  tc.outer_lr = 0.5f;
+  tc.dr_sample_k = 3;
+
+  auto run = [&](const char* label, auto&& make_framework) {
+    Rng rng(mc.seed);
+    auto model = models::CreateModel("MLP", mc, &rng);
+    MAMDR_CHECK(model.ok());
+    auto fw = make_framework(model.value().get());
+    fw->Train();
+    const double auc = fw->AverageTestAuc();
+    std::printf("%-12s avg test AUC = %.4f\n", label, auc);
+    return auc;
+  };
+
+  const double alternate_auc =
+      run("Alternate", [&](models::CtrModel* m) {
+        return std::make_unique<core::Alternate>(m, &ds, tc);
+      });
+  const double mamdr_auc = run("MAMDR", [&](models::CtrModel* m) {
+    return std::make_unique<core::Mamdr>(m, &ds, tc);
+  });
+
+  std::printf("\nMAMDR improvement: %+.4f AUC\n", mamdr_auc - alternate_auc);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Scenario: sparse domains (the Amazon-13 motivation, §V-D).
+//
+// A marketplace runs a handful of data-rich domains plus several long-tail
+// domains with very little traffic. Per-domain finetuning overfits the tail;
+// Domain Regularization learns each tail domain's specific parameters with
+// the *help of other domains*. This example builds such a dataset and
+// compares Alternate+Finetune against MAMDR, reporting the tail domains
+// separately.
+//
+//   ./build/examples/sparse_domains
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/framework_registry.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "models/registry.h"
+
+using namespace mamdr;
+
+int main() {
+  // 4 rich domains + 4 sparse domains, built directly from DomainSpecs.
+  data::SyntheticConfig gen;
+  gen.name = "rich+tail";
+  gen.num_users = 2500;
+  gen.num_items = 900;
+  gen.seed = 19;
+  for (int d = 0; d < 4; ++d) {
+    gen.domains.push_back(
+        {"rich-" + std::to_string(d), 1200, 0.3, 0.6});
+  }
+  for (int d = 0; d < 4; ++d) {
+    gen.domains.push_back(
+        {"tail-" + std::to_string(d), 30, 0.3, 0.6});
+  }
+  auto ds_result = data::Generate(gen);
+  if (!ds_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 ds_result.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = std::move(ds_result).value();
+  std::printf("%s\n", data::FormatStats(data::ComputeStats(ds)).c_str());
+
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 16;
+  mc.hidden = {64, 32};
+
+  core::TrainConfig tc;
+  tc.epochs = 14;
+  tc.batch_size = 256;
+  tc.dr_sample_k = 3;
+  tc.dr_max_batches = 3;
+
+  auto evaluate = [&](const char* fw_name) {
+    Rng rng(mc.seed);
+    auto model = models::CreateModel("MLP", mc, &rng).value();
+    auto fw = core::CreateFramework(fw_name, model.get(), &ds, tc).value();
+    fw->Train();
+    return fw->EvaluateTest();
+  };
+
+  const auto finetune = evaluate("Alternate+Finetune");
+  const auto mamdr = evaluate("MAMDR");
+
+  std::vector<std::vector<std::string>> rows;
+  double ft_tail = 0.0, md_tail = 0.0;
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    rows.push_back({ds.domain(d).name,
+                    std::to_string(ds.domain(d).TotalSamples()),
+                    FormatFloat(finetune[static_cast<size_t>(d)], 4),
+                    FormatFloat(mamdr[static_cast<size_t>(d)], 4)});
+    if (d >= 4) {
+      ft_tail += finetune[static_cast<size_t>(d)] / 4.0;
+      md_tail += mamdr[static_cast<size_t>(d)] / 4.0;
+    }
+  }
+  std::printf("%s\n", RenderTable({"Domain", "#Samples",
+                                   "Alternate+Finetune", "MAMDR"},
+                                  rows)
+                          .c_str());
+  std::printf("tail-domain average: finetune %.4f vs MAMDR %.4f (%+.4f)\n",
+              ft_tail, md_tail, md_tail - ft_tail);
+  return 0;
+}

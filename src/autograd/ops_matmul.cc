@@ -1,0 +1,22 @@
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace autograd {
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = ops::MatMul(a.value(), b.value());
+  auto an = a.node(), bn = b.node();
+  Tensor av = a.value(), bv = b.value();
+  return MakeOpNode(
+      std::move(out), {a, b},
+      [an, bn, av, bv](const Tensor& g) {
+        // dL/dA = g * B^T ; dL/dB = A^T * g.
+        AccumGrad(an, ops::MatMulTransB(g, bv));
+        AccumGrad(bn, ops::MatMulTransA(av, g));
+      },
+      "matmul");
+}
+
+}  // namespace autograd
+}  // namespace mamdr

@@ -1,0 +1,70 @@
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace autograd {
+
+Var Sum(const Var& a) {
+  Tensor out({1});
+  out.at(0) = ops::Sum(a.value());
+  auto an = a.node();
+  Shape in_shape = a.value().shape();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, in_shape](const Tensor& g) {
+        AccumGrad(an, Tensor(in_shape, g.at(0)));
+      },
+      "sum");
+}
+
+Var Mean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  Tensor out({1});
+  out.at(0) = ops::Sum(a.value()) * inv;
+  auto an = a.node();
+  Shape in_shape = a.value().shape();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, in_shape, inv](const Tensor& g) {
+        AccumGrad(an, Tensor(in_shape, g.at(0) * inv));
+      },
+      "mean");
+}
+
+Var SumCols(const Var& a) {
+  Tensor out = ops::SumCols(a.value());
+  auto an = a.node();
+  const int64_t n = a.value().cols();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, n](const Tensor& g) {
+        // g is [m,1]; broadcast back to [m,n].
+        const int64_t m = g.rows();
+        Tensor gi({m, n});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) gi.at(i, j) = g.at(i, 0);
+        }
+        AccumGrad(an, gi);
+      },
+      "sum_cols");
+}
+
+Var SumRows(const Var& a) {
+  Tensor out = ops::SumRows(a.value());
+  auto an = a.node();
+  const int64_t m = a.value().rows();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, m](const Tensor& g) {
+        const int64_t n = g.cols();
+        Tensor gi({m, n});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) gi.at(i, j) = g.at(0, j);
+        }
+        AccumGrad(an, gi);
+      },
+      "sum_rows");
+}
+
+}  // namespace autograd
+}  // namespace mamdr

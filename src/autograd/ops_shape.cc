@@ -1,0 +1,83 @@
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace autograd {
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  MAMDR_CHECK(!parts.empty());
+  const int64_t m = parts[0].value().rows();
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    MAMDR_CHECK_EQ(p.value().rank(), 2);
+    MAMDR_CHECK_EQ(p.value().rows(), m);
+    total += p.value().cols();
+  }
+  Tensor out({m, total});
+  int64_t off = 0;
+  std::vector<int64_t> widths;
+  widths.reserve(parts.size());
+  for (const auto& p : parts) {
+    const int64_t n = p.value().cols();
+    widths.push_back(n);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) out.at(i, off + j) = p.value().at(i, j);
+    }
+    off += n;
+  }
+  std::vector<std::shared_ptr<Node>> nodes;
+  nodes.reserve(parts.size());
+  for (const auto& p : parts) nodes.push_back(p.node());
+  return MakeOpNode(
+      std::move(out), parts,
+      [nodes, widths, m](const Tensor& g) {
+        int64_t off = 0;
+        for (size_t k = 0; k < nodes.size(); ++k) {
+          const int64_t n = widths[k];
+          Tensor gi({m, n});
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) gi.at(i, j) = g.at(i, off + j);
+          }
+          AccumGrad(nodes[k], gi);
+          off += n;
+        }
+      },
+      "concat_cols");
+}
+
+Var SliceCols(const Var& a, int64_t start, int64_t len) {
+  MAMDR_CHECK_EQ(a.value().rank(), 2);
+  const int64_t m = a.value().rows(), n = a.value().cols();
+  MAMDR_CHECK_GE(start, 0);
+  MAMDR_CHECK_LE(start + len, n);
+  Tensor out({m, len});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < len; ++j) out.at(i, j) = a.value().at(i, start + j);
+  }
+  auto an = a.node();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, m, n, start, len](const Tensor& g) {
+        Tensor gi({m, n});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < len; ++j) gi.at(i, start + j) = g.at(i, j);
+        }
+        AccumGrad(an, gi);
+      },
+      "slice_cols");
+}
+
+Var Reshape(const Var& a, Shape shape) {
+  Tensor out = a.value().Clone().Reshaped(shape);
+  auto an = a.node();
+  Shape in_shape = a.value().shape();
+  return MakeOpNode(
+      std::move(out), {a},
+      [an, in_shape](const Tensor& g) {
+        AccumGrad(an, g.Clone().Reshaped(in_shape));
+      },
+      "reshape");
+}
+
+}  // namespace autograd
+}  // namespace mamdr

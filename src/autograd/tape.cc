@@ -1,0 +1,18 @@
+#include "autograd/tape.h"
+
+namespace mamdr {
+namespace autograd {
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+}  // namespace autograd
+}  // namespace mamdr

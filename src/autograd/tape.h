@@ -1,0 +1,29 @@
+// Grad-mode control, analogous to torch.no_grad().
+//
+// During evaluation the graph need not be recorded; disabling grad mode makes
+// ops produce detached nodes, which is both faster and lighter on memory.
+#ifndef MAMDR_AUTOGRAD_TAPE_H_
+#define MAMDR_AUTOGRAD_TAPE_H_
+
+namespace mamdr {
+namespace autograd {
+
+/// True (default) if ops should record backward closures.
+bool GradEnabled();
+
+/// RAII guard that disables gradient recording in the current thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace autograd
+}  // namespace mamdr
+
+#endif  // MAMDR_AUTOGRAD_TAPE_H_

@@ -1,0 +1,88 @@
+// Reverse-mode automatic differentiation.
+//
+// A Var is a handle to a graph node holding a value tensor and, after
+// Backward(), a gradient tensor. Ops (see ops.h) create new nodes whose
+// backward closures accumulate gradients into their parents. Parameters are
+// leaf nodes that persist across steps; intermediate nodes are freed when the
+// last Var handle to them goes out of scope.
+#ifndef MAMDR_AUTOGRAD_VARIABLE_H_
+#define MAMDR_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mamdr {
+namespace autograd {
+
+/// Internal graph node. Users interact through Var.
+struct Node {
+  Tensor value;
+  Tensor grad;  // same shape as value; allocated lazily by AccumGrad
+  bool requires_grad = false;
+  /// Accumulates d(loss)/d(this) into the parents' grads.
+  std::function<void(const Tensor& out_grad)> backward;
+  std::vector<std::shared_ptr<Node>> parents;
+  uint64_t id = 0;  // creation order; backward visits nodes in descending id
+  std::string name;  // optional, for debugging
+};
+
+/// Handle to a Node. Cheap to copy.
+class Var {
+ public:
+  Var() = default;
+
+  /// Create a leaf. requires_grad=true marks it a trainable parameter.
+  explicit Var(Tensor value, bool requires_grad = false,
+               std::string name = "");
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  const Tensor& grad() const { return node_->grad; }
+  Tensor& mutable_grad() { return node_->grad; }
+  bool has_grad() const { return defined() && !node_->grad.empty(); }
+  bool requires_grad() const { return node_->requires_grad; }
+  const std::string& name() const { return node_->name; }
+  const Shape& shape() const { return node_->value.shape(); }
+
+  /// Zero (and allocate if needed) the gradient buffer.
+  void ZeroGrad();
+
+  /// Drop the gradient buffer entirely.
+  void ClearGrad();
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Run reverse-mode AD from this (scalar) variable. Accumulates into the
+  /// .grad of every reachable node with requires_grad (directly or through
+  /// ancestry). Seeds d(this)/d(this) = 1.
+  void Backward() const;
+
+ private:
+  friend Var MakeOpNode(Tensor value, std::vector<Var> parents,
+                        std::function<void(const Tensor&)> backward,
+                        std::string name);
+  std::shared_ptr<Node> node_;
+};
+
+/// Create an interior node produced by an op. `backward` receives the
+/// gradient of the loss w.r.t. this node's value and must accumulate into
+/// parents via AccumGrad.
+Var MakeOpNode(Tensor value, std::vector<Var> parents,
+               std::function<void(const Tensor&)> backward,
+               std::string name = "");
+
+/// Accumulate `g` into node->grad (allocating a zero buffer on first use).
+void AccumGrad(const std::shared_ptr<Node>& node, const Tensor& g);
+
+/// True if gradient should flow to any of the given parents.
+bool AnyRequiresGrad(const std::vector<Var>& parents);
+
+}  // namespace autograd
+}  // namespace mamdr
+
+#endif  // MAMDR_AUTOGRAD_VARIABLE_H_

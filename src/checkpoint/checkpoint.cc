@@ -1,0 +1,171 @@
+#include "checkpoint/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace mamdr {
+namespace checkpoint {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'M', 'D', 'R', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(
+    const std::vector<std::pair<std::string, Tensor>>& named_tensors,
+    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(named_tensors.size()));
+  for (const auto& [name, tensor] : named_tensors) {
+    WritePod(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod(out, static_cast<uint32_t>(tensor.rank()));
+    for (int64_t i = 0; i < tensor.rank(); ++i) WritePod(out, tensor.dim(i));
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+  }
+  return out ? Status::OK() : Status::Internal("short write to " + path);
+}
+
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a MAMDR checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  std::vector<std::pair<std::string, Tensor>> out;
+  out.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("corrupt tensor name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank > 8) {
+      return Status::InvalidArgument("corrupt tensor rank");
+    }
+    Shape shape(rank);
+    for (auto& d : shape) {
+      if (!ReadPod(in, &d) || d < 0) {
+        return Status::InvalidArgument("corrupt tensor shape");
+      }
+    }
+    Tensor tensor(shape);
+    in.read(reinterpret_cast<char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+    if (!in) return Status::InvalidArgument("truncated tensor data");
+    out.emplace_back(std::move(name), std::move(tensor));
+  }
+  return out;
+}
+
+Status SaveModule(const nn::Module& module, const std::string& path) {
+  std::vector<std::pair<std::string, Tensor>> named;
+  for (const auto& [name, param] : module.NamedParameters()) {
+    named.emplace_back(name, param.value());
+  }
+  return SaveTensors(named, path);
+}
+
+Status LoadModule(nn::Module* module, const std::string& path) {
+  auto loaded = LoadTensors(path);
+  MAMDR_RETURN_NOT_OK(loaded.status());
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const auto& [name, tensor] : loaded.value()) {
+    by_name[name] = &tensor;
+  }
+  for (auto& [name, param] : module->NamedParameters()) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("checkpoint missing parameter '" + name + "'");
+    }
+    if (it->second->shape() != param.value().shape()) {
+      return Status::InvalidArgument("shape mismatch for '" + name + "'");
+    }
+    autograd::Var p = param;
+    std::copy(it->second->data(), it->second->data() + it->second->size(),
+              p.mutable_value().data());
+  }
+  return Status::OK();
+}
+
+Status SaveStore(const core::SharedSpecificStore& store,
+                 const std::string& path) {
+  std::vector<std::pair<std::string, Tensor>> named;
+  for (size_t i = 0; i < store.shared().size(); ++i) {
+    named.emplace_back("shared/" + std::to_string(i), store.shared()[i]);
+  }
+  for (int64_t d = 0; d < store.num_domains(); ++d) {
+    const auto& spec = store.specific(d);
+    for (size_t i = 0; i < spec.size(); ++i) {
+      named.emplace_back(
+          "domain" + std::to_string(d) + "/" + std::to_string(i), spec[i]);
+    }
+  }
+  return SaveTensors(named, path);
+}
+
+Status LoadStore(core::SharedSpecificStore* store, const std::string& path) {
+  auto loaded = LoadTensors(path);
+  MAMDR_RETURN_NOT_OK(loaded.status());
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const auto& [name, tensor] : loaded.value()) {
+    by_name[name] = &tensor;
+  }
+  auto restore_into = [&](const std::string& prefix,
+                          std::vector<Tensor>* target) -> Status {
+    for (size_t i = 0; i < target->size(); ++i) {
+      auto it = by_name.find(prefix + std::to_string(i));
+      if (it == by_name.end()) {
+        return Status::NotFound("checkpoint missing " + prefix +
+                                std::to_string(i));
+      }
+      if (it->second->shape() != (*target)[i].shape()) {
+        return Status::InvalidArgument("shape mismatch for " + prefix +
+                                       std::to_string(i));
+      }
+      std::copy(it->second->data(), it->second->data() + it->second->size(),
+                (*target)[i].data());
+    }
+    return Status::OK();
+  };
+  MAMDR_RETURN_NOT_OK(restore_into("shared/", store->mutable_shared()));
+  for (int64_t d = 0; d < store->num_domains(); ++d) {
+    MAMDR_RETURN_NOT_OK(restore_into("domain" + std::to_string(d) + "/",
+                                     store->mutable_specific(d)));
+  }
+  return Status::OK();
+}
+
+}  // namespace checkpoint
+}  // namespace mamdr

@@ -1,0 +1,52 @@
+// Binary checkpointing of model parameters and MAMDR parameter stores.
+//
+// Format (little-endian): magic "MAMDRCKP", u32 version, u64 tensor count,
+// then per tensor: u32 name length, name bytes, u32 rank, i64 dims...,
+// float32 data. Loading matches tensors by name and verifies shapes, so a
+// checkpoint survives refactors that only reorder parameters.
+#ifndef MAMDR_CHECKPOINT_CHECKPOINT_H_
+#define MAMDR_CHECKPOINT_CHECKPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/param_store.h"
+#include "nn/module.h"
+
+namespace mamdr {
+namespace checkpoint {
+
+/// Save named tensors to `path`.
+Status SaveTensors(
+    const std::vector<std::pair<std::string, Tensor>>& named_tensors,
+    const std::string& path);
+
+/// Load all tensors from `path`.
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path);
+
+/// Save a module's parameters (by qualified name).
+Status SaveModule(const nn::Module& module, const std::string& path);
+
+/// Restore a module's parameters in place. Fails if any parameter is
+/// missing from the checkpoint or has a different shape; extra tensors in
+/// the checkpoint are ignored.
+Status LoadModule(nn::Module* module, const std::string& path);
+
+/// Save a MAMDR shared/specific store: writes "shared/<i>" and
+/// "domain<d>/<i>" tensors.
+Status SaveStore(const core::SharedSpecificStore& store,
+                 const std::string& path);
+
+/// Restore a store saved by SaveStore into `store` (same layout and domain
+/// count required). The store's own parameter vector is untouched; call
+/// InstallShared()/InstallComposite() afterwards to push values into the
+/// model.
+Status LoadStore(core::SharedSpecificStore* store, const std::string& path);
+
+}  // namespace checkpoint
+}  // namespace mamdr
+
+#endif  // MAMDR_CHECKPOINT_CHECKPOINT_H_

@@ -1,0 +1,75 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace mamdr {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  if (argc > 0) parser.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     arg + "'");
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      parser.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.values_[arg] = argv[++i];
+    } else {
+      parser.values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return parser;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end()
+             ? default_value
+             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::Unrecognized() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (queried_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mamdr

@@ -1,0 +1,45 @@
+// Fixed-size thread pool used by the PS-Worker simulation.
+#ifndef MAMDR_COMMON_THREAD_POOL_H_
+#define MAMDR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mamdr {
+
+/// Simple FIFO thread pool. Submit() enqueues a task; Wait() blocks until
+/// all submitted tasks finished. Destruction joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is drained and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mamdr
+
+#endif  // MAMDR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,21 @@
+#include "core/alternate.h"
+
+namespace mamdr {
+namespace core {
+
+Alternate::Alternate(models::CtrModel* model,
+                     const data::MultiDomainDataset* dataset,
+                     TrainConfig config)
+    : Framework(model, dataset, std::move(config)) {
+  opt_ = MakeInnerOptimizer(config_.inner_lr);
+}
+
+void Alternate::TrainEpoch() {
+  std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  rng_.Shuffle(&order);
+  for (int64_t d : order) TrainDomainPass(d, opt_.get());
+}
+
+}  // namespace core
+}  // namespace mamdr

@@ -1,0 +1,29 @@
+// Alternate Training: one pass over each domain per epoch, single shared Θ.
+// The conventional baseline (§III-C) — and the degenerate case of DN when
+// the outer learning rate beta is 1.
+#ifndef MAMDR_CORE_ALTERNATE_H_
+#define MAMDR_CORE_ALTERNATE_H_
+
+#include <memory>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class Alternate : public Framework {
+ public:
+  Alternate(models::CtrModel* model, const data::MultiDomainDataset* dataset,
+            TrainConfig config);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "Alternate"; }
+
+ private:
+  std::unique_ptr<optim::Optimizer> opt_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_ALTERNATE_H_

@@ -1,0 +1,33 @@
+#include "core/early_stopper.h"
+
+#include "common/logging.h"
+#include "optim/param_snapshot.h"
+
+namespace mamdr {
+namespace core {
+
+EarlyStopper::EarlyStopper(int64_t patience, double min_delta)
+    : patience_(patience), min_delta_(min_delta) {
+  MAMDR_CHECK_GT(patience, 0);
+}
+
+bool EarlyStopper::Observe(double metric, const nn::Module& module) {
+  ++observed_;
+  if (metric > best_metric_ + min_delta_) {
+    best_metric_ = metric;
+    best_epoch_ = observed_;
+    bad_streak_ = 0;
+    best_params_ = optim::Snapshot(module.Parameters());
+    return true;
+  }
+  ++bad_streak_;
+  return false;
+}
+
+void EarlyStopper::RestoreBest(nn::Module* module) const {
+  if (best_params_.empty()) return;
+  optim::Restore(module->Parameters(), best_params_);
+}
+
+}  // namespace core
+}  // namespace mamdr

@@ -1,0 +1,90 @@
+#include "core/framework.h"
+
+#include "common/logging.h"
+#include "data/batch.h"
+#include "optim/adagrad.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+
+namespace mamdr {
+namespace core {
+
+Framework::Framework(models::CtrModel* model,
+                     const data::MultiDomainDataset* dataset,
+                     TrainConfig config)
+    : model_(model),
+      dataset_(dataset),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  MAMDR_CHECK(model != nullptr);
+  MAMDR_CHECK(dataset != nullptr);
+  MAMDR_CHECK_GT(dataset->num_domains(), 0);
+  params_ = model_->Parameters();
+}
+
+void Framework::Train() {
+  for (int64_t e = 0; e < config_.epochs; ++e) {
+    TrainEpoch();
+    if (config_.verbose) {
+      MAMDR_LOG(Info) << name() << " epoch " << (e + 1) << "/"
+                      << config_.epochs
+                      << " avg test AUC=" << AverageTestAuc();
+    }
+  }
+}
+
+metrics::ScoreFn Framework::Scorer() {
+  return [this](const data::Batch& batch, int64_t domain) {
+    return model_->Score(batch, domain);
+  };
+}
+
+std::vector<double> Framework::Evaluate(metrics::Split split) {
+  return metrics::EvaluateAllDomains(*dataset_, split, Scorer());
+}
+
+std::vector<double> Framework::EvaluateTest() {
+  return Evaluate(metrics::Split::kTest);
+}
+
+double Framework::AverageTestAuc() {
+  const auto aucs = EvaluateTest();
+  double sum = 0.0;
+  for (double a : aucs) sum += a;
+  return sum / static_cast<double>(aucs.size());
+}
+
+int64_t Framework::TrainDomainPass(int64_t domain, optim::Optimizer* opt,
+                                   int64_t max_batches) {
+  const auto& train = dataset_->domain(domain).train;
+  data::Batcher batcher(&train, config_.batch_size, &rng_);
+  nn::Context ctx{/*training=*/true, &rng_};
+  data::Batch batch;
+  int64_t batches = 0;
+  while (batcher.Next(&batch)) {
+    opt->ZeroGrad();
+    autograd::Var loss = model_->Loss(batch, domain, ctx);
+    loss.Backward();
+    opt->Step();
+    ++batches;
+    if (max_batches > 0 && batches >= max_batches) break;
+  }
+  ++domain_pass_count_;
+  batch_step_count_ += batches;
+  return batches;
+}
+
+std::unique_ptr<optim::Optimizer> Framework::MakeInnerOptimizer(float lr) {
+  if (config_.inner_optimizer == "sgd") {
+    return std::make_unique<optim::Sgd>(params_, lr);
+  }
+  if (config_.inner_optimizer == "adagrad") {
+    return std::make_unique<optim::Adagrad>(params_, lr);
+  }
+  MAMDR_CHECK(config_.inner_optimizer == "adam")
+      << "unknown inner optimizer '" << config_.inner_optimizer << "'";
+  return std::make_unique<optim::Adam>(params_, lr);
+}
+
+}  // namespace core
+}  // namespace mamdr

@@ -1,0 +1,63 @@
+#include "core/framework_registry.h"
+
+#include "core/alternate.h"
+#include "core/cdr_transfer.h"
+#include "core/domain_negotiation.h"
+#include "core/domain_regularization.h"
+#include "core/finetune.h"
+#include "core/graddrop.h"
+#include "core/maml.h"
+#include "core/mamdr.h"
+#include "core/mldg.h"
+#include "core/pcgrad.h"
+#include "core/reptile.h"
+#include "core/weighted_loss.h"
+
+namespace mamdr {
+namespace core {
+
+Result<std::unique_ptr<Framework>> CreateFramework(
+    const std::string& name, models::CtrModel* model,
+    const data::MultiDomainDataset* dataset, const TrainConfig& config) {
+  std::unique_ptr<Framework> fw;
+  if (name == "Alternate") {
+    fw = std::make_unique<Alternate>(model, dataset, config);
+  } else if (name == "Alternate+Finetune") {
+    fw = std::make_unique<AlternateFinetune>(model, dataset, config);
+  } else if (name == "Separate") {
+    fw = std::make_unique<Separate>(model, dataset, config);
+  } else if (name == "Weighted Loss") {
+    fw = std::make_unique<WeightedLoss>(model, dataset, config);
+  } else if (name == "PCGrad") {
+    fw = std::make_unique<PcGrad>(model, dataset, config);
+  } else if (name == "MAML") {
+    fw = std::make_unique<Maml>(model, dataset, config);
+  } else if (name == "Reptile") {
+    fw = std::make_unique<Reptile>(model, dataset, config);
+  } else if (name == "MLDG") {
+    fw = std::make_unique<Mldg>(model, dataset, config);
+  } else if (name == "DN") {
+    fw = std::make_unique<DomainNegotiation>(model, dataset, config);
+  } else if (name == "DR") {
+    fw = std::make_unique<DomainRegularization>(model, dataset, config);
+  } else if (name == "MAMDR") {
+    fw = std::make_unique<Mamdr>(model, dataset, config);
+  } else if (name == "CDR-Transfer") {
+    fw = std::make_unique<CdrTransfer>(model, dataset, config);
+  } else if (name == "GradDrop") {
+    fw = std::make_unique<GradDrop>(model, dataset, config);
+  } else {
+    return Status::NotFound("unknown framework '" + name + "'");
+  }
+  return fw;
+}
+
+std::vector<std::string> KnownFrameworks() {
+  return {"Alternate", "Alternate+Finetune", "Separate", "Weighted Loss",
+          "PCGrad",    "MAML",               "Reptile",  "MLDG",
+          "DN",        "DR",                 "MAMDR",    "CDR-Transfer",
+          "GradDrop"};
+}
+
+}  // namespace core
+}  // namespace mamdr

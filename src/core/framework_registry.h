@@ -1,0 +1,26 @@
+// Framework factory by name (the rows of Table X).
+#ifndef MAMDR_CORE_FRAMEWORK_REGISTRY_H_
+#define MAMDR_CORE_FRAMEWORK_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+/// Known names: Alternate, Alternate+Finetune, Separate, Weighted Loss,
+/// PCGrad, MAML, Reptile, MLDG, DN, DR, MAMDR.
+Result<std::unique_ptr<Framework>> CreateFramework(
+    const std::string& name, models::CtrModel* model,
+    const data::MultiDomainDataset* dataset, const TrainConfig& config);
+
+std::vector<std::string> KnownFrameworks();
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_FRAMEWORK_REGISTRY_H_

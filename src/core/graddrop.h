@@ -1,0 +1,40 @@
+// GradDrop: meta-learning gradient dropout (Tseng et al., ACCV'20 — [39] in
+// the paper's related work).
+//
+// A Reptile-style per-task schedule where every inner-loop gradient is
+// element-wise masked by an inverted-dropout Bernoulli mask. The random
+// masking regularizes the inner adaptation so specific tasks (domains)
+// cannot overfit the shared initialization. Included as an additional
+// meta-learning baseline beyond the paper's Table X set.
+#ifndef MAMDR_CORE_GRADDROP_H_
+#define MAMDR_CORE_GRADDROP_H_
+
+#include <memory>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class GradDrop : public Framework {
+ public:
+  /// drop_rate is the probability an inner-gradient element is zeroed.
+  GradDrop(models::CtrModel* model, const data::MultiDomainDataset* dataset,
+           TrainConfig config, float drop_rate = 0.2f);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "GradDrop"; }
+
+  float drop_rate() const { return drop_rate_; }
+
+ private:
+  /// One masked-gradient pass over a domain.
+  void MaskedDomainPass(int64_t domain, optim::Optimizer* opt);
+
+  float drop_rate_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_GRADDROP_H_

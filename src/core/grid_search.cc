@@ -1,0 +1,71 @@
+#include "core/grid_search.h"
+
+#include <algorithm>
+
+#include "core/framework_registry.h"
+
+namespace mamdr {
+namespace core {
+namespace {
+
+template <typename T>
+std::vector<T> OrDefault(const std::vector<T>& candidates, T base) {
+  return candidates.empty() ? std::vector<T>{base} : candidates;
+}
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+std::vector<GridCell> GridSearch(const ModelFactory& factory,
+                                 const std::string& framework_name,
+                                 const data::MultiDomainDataset& dataset,
+                                 const TrainConfig& base,
+                                 const GridSpec& grid) {
+  std::vector<GridCell> cells;
+  for (float alpha : OrDefault(grid.inner_lr, base.inner_lr)) {
+    for (float beta : OrDefault(grid.outer_lr, base.outer_lr)) {
+      for (float gamma : OrDefault(grid.dr_lr, base.dr_lr)) {
+        for (int64_t k : OrDefault(grid.dr_sample_k, base.dr_sample_k)) {
+          GridCell cell;
+          cell.config = base;
+          cell.config.inner_lr = alpha;
+          cell.config.outer_lr = beta;
+          cell.config.dr_lr = gamma;
+          cell.config.dr_sample_k = k;
+
+          auto model = factory();
+          MAMDR_CHECK(model != nullptr);
+          auto fw = CreateFramework(framework_name, model.get(), &dataset,
+                                    cell.config);
+          MAMDR_CHECK(fw.ok()) << fw.status().ToString();
+          double best_val = -1.0, test_at_best = 0.0;
+          for (int64_t e = 0; e < cell.config.epochs; ++e) {
+            fw.value()->TrainEpoch();
+            const double val =
+                Mean(fw.value()->Evaluate(metrics::Split::kVal));
+            if (val > best_val) {
+              best_val = val;
+              test_at_best = Mean(fw.value()->EvaluateTest());
+            }
+          }
+          cell.val_auc = best_val;
+          cell.test_auc = test_at_best;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const GridCell& a, const GridCell& b) {
+              return a.val_auc > b.val_auc;
+            });
+  return cells;
+}
+
+}  // namespace core
+}  // namespace mamdr

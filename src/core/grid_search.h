@@ -1,0 +1,44 @@
+// Hyper-parameter grid search over TrainConfig fields.
+//
+// Runs every combination of the given alpha/beta/gamma/k candidates,
+// training a freshly-seeded model per cell and scoring it by average
+// validation AUC; returns the cells sorted best-first. This is the tuning
+// loop behind Figs. 8 and 9, packaged for library users.
+#ifndef MAMDR_CORE_GRID_SEARCH_H_
+#define MAMDR_CORE_GRID_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+struct GridSpec {
+  std::vector<float> inner_lr;    // empty = keep base value
+  std::vector<float> outer_lr;
+  std::vector<float> dr_lr;
+  std::vector<int64_t> dr_sample_k;
+};
+
+struct GridCell {
+  TrainConfig config;
+  double val_auc = 0.0;
+  double test_auc = 0.0;
+};
+
+/// Factory producing a fresh model for each cell (must re-seed itself).
+using ModelFactory = std::function<std::unique_ptr<models::CtrModel>()>;
+
+/// Exhaustive sweep; result sorted by val_auc descending.
+std::vector<GridCell> GridSearch(const ModelFactory& factory,
+                                 const std::string& framework_name,
+                                 const data::MultiDomainDataset& dataset,
+                                 const TrainConfig& base, const GridSpec& grid);
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_GRID_SEARCH_H_

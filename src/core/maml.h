@@ -1,0 +1,36 @@
+// First-order MAML (Finn et al., ICML'17) treating each domain as a task.
+//
+// Each domain's training data is split into support and query halves (which
+// is why MAML under-uses the training set — §V-G). Per task: adapt on the
+// support set, take the query-set gradient at the adapted point as the
+// meta-gradient (first-order approximation), and apply it at the initial
+// parameters.
+#ifndef MAMDR_CORE_MAML_H_
+#define MAMDR_CORE_MAML_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class Maml : public Framework {
+ public:
+  Maml(models::CtrModel* model, const data::MultiDomainDataset* dataset,
+       TrainConfig config);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "MAML"; }
+
+ private:
+  std::vector<std::vector<data::Interaction>> support_;
+  std::vector<std::vector<data::Interaction>> query_;
+  std::unique_ptr<optim::Optimizer> meta_opt_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_MAML_H_

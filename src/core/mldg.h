@@ -1,0 +1,32 @@
+// MLDG: meta-learning for domain generalization (Li et al., AAAI'18),
+// first-order variant.
+//
+// Per step: split domains into meta-train / meta-test, take a virtual step on
+// meta-train, and combine the meta-train gradient with the meta-test gradient
+// evaluated at the stepped parameters.
+#ifndef MAMDR_CORE_MLDG_H_
+#define MAMDR_CORE_MLDG_H_
+
+#include <memory>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class Mldg : public Framework {
+ public:
+  Mldg(models::CtrModel* model, const data::MultiDomainDataset* dataset,
+       TrainConfig config);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "MLDG"; }
+
+ private:
+  std::unique_ptr<optim::Optimizer> opt_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_MLDG_H_

@@ -1,0 +1,74 @@
+#include "core/pcgrad.h"
+
+#include "data/batch.h"
+#include "optim/param_snapshot.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace core {
+
+PcGrad::PcGrad(models::CtrModel* model,
+               const data::MultiDomainDataset* dataset, TrainConfig config)
+    : Framework(model, dataset, std::move(config)) {
+  opt_ = MakeInnerOptimizer(config_.inner_lr);
+}
+
+void PcGrad::TrainEpoch() {
+  const int64_t n = dataset_->num_domains();
+  std::vector<data::Batcher> batchers;
+  batchers.reserve(static_cast<size_t>(n));
+  for (int64_t d = 0; d < n; ++d) {
+    batchers.emplace_back(&dataset_->domain(d).train, config_.batch_size,
+                          &rng_);
+  }
+  nn::Context ctx{/*training=*/true, &rng_};
+  data::Batch batch;
+  bool any = true;
+  while (any) {
+    any = false;
+    // Per-domain flattened gradients at the shared point.
+    std::vector<Tensor> grads;
+    std::vector<Tensor> layout = optim::GradSnapshot(params_);
+    for (int64_t d = 0; d < n; ++d) {
+      if (!batchers[static_cast<size_t>(d)].Next(&batch)) continue;
+      any = true;
+      for (auto& p : params_) p.ZeroGrad();
+      autograd::Var loss = model_->Loss(batch, d, ctx);
+      loss.Backward();
+      ++batch_step_count_;
+      grads.push_back(optim::Flatten(optim::GradSnapshot(params_)));
+    }
+    if (grads.size() < 1) break;
+    // Gradient surgery: project each g_i off conflicting g_j (random order).
+    std::vector<Tensor> projected;
+    projected.reserve(grads.size());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      Tensor gi = grads[i].Clone();
+      std::vector<size_t> order;
+      for (size_t j = 0; j < grads.size(); ++j) {
+        if (j != i) order.push_back(j);
+      }
+      rng_.Shuffle(&order);
+      for (size_t j : order) {
+        const float ip = ops::Dot(gi, grads[j]);
+        if (ip < 0.0f) {
+          const float denom = ops::SquaredNorm(grads[j]);
+          if (denom > 1e-12f) {
+            ops::AxpyInPlace(&gi, grads[j], -ip / denom);
+          }
+        }
+      }
+      projected.push_back(std::move(gi));
+    }
+    // Sum projected gradients and take one optimizer step.
+    Tensor total = projected[0].Clone();
+    for (size_t i = 1; i < projected.size(); ++i) {
+      ops::AxpyInPlace(&total, projected[i], 1.0f);
+    }
+    optim::SetGrads(params_, optim::Unflatten(total, layout));
+    opt_->Step();
+  }
+}
+
+}  // namespace core
+}  // namespace mamdr

@@ -1,0 +1,32 @@
+// PCGrad: gradient surgery for multi-task learning (Yu et al., NeurIPS'20).
+//
+// Per step, one batch per domain produces per-domain gradients; each gradient
+// is projected off the normal plane of every conflicting other (random
+// order), the projected gradients are summed and applied. O(n^2) in the
+// number of domains — the scalability limitation §III-C calls out.
+#ifndef MAMDR_CORE_PCGRAD_H_
+#define MAMDR_CORE_PCGRAD_H_
+
+#include <memory>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class PcGrad : public Framework {
+ public:
+  PcGrad(models::CtrModel* model, const data::MultiDomainDataset* dataset,
+         TrainConfig config);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "PCGrad"; }
+
+ private:
+  std::unique_ptr<optim::Optimizer> opt_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_PCGRAD_H_

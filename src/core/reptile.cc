@@ -1,0 +1,26 @@
+#include "core/reptile.h"
+
+#include "optim/param_snapshot.h"
+
+namespace mamdr {
+namespace core {
+
+Reptile::Reptile(models::CtrModel* model,
+                 const data::MultiDomainDataset* dataset, TrainConfig config)
+    : Framework(model, dataset, std::move(config)) {}
+
+void Reptile::TrainEpoch() {
+  std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  rng_.Shuffle(&order);
+  for (int64_t d : order) {
+    const std::vector<Tensor> theta = optim::Snapshot(params_);
+    auto inner = MakeInnerOptimizer(config_.inner_lr);
+    TrainDomainPass(d, inner.get());
+    // Θ <- Θ + β(Θ̃ − Θ), per task.
+    optim::MetaInterpolate(params_, theta, config_.outer_lr);
+  }
+}
+
+}  // namespace core
+}  // namespace mamdr

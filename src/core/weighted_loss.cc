@@ -1,0 +1,61 @@
+#include "core/weighted_loss.h"
+
+#include <cmath>
+
+#include "data/batch.h"
+
+namespace mamdr {
+namespace core {
+
+WeightedLoss::WeightedLoss(models::CtrModel* model,
+                           const data::MultiDomainDataset* dataset,
+                           TrainConfig config)
+    : Framework(model, dataset, std::move(config)) {
+  std::vector<autograd::Var> all = params_;
+  for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
+    log_vars_.emplace_back(Tensor({1}), /*requires_grad=*/true,
+                           "log_var" + std::to_string(d));
+    all.push_back(log_vars_.back());
+  }
+  // One optimizer over model params + loss weights.
+  TrainConfig saved = config_;
+  params_ = all;  // MakeInnerOptimizer uses params_
+  opt_ = MakeInnerOptimizer(saved.inner_lr);
+  params_ = model_->Parameters();  // restore: meta-utilities see model params
+}
+
+void WeightedLoss::TrainEpoch() {
+  // Interleave batches across domains so weights adapt jointly.
+  std::vector<data::Batcher> batchers;
+  batchers.reserve(static_cast<size_t>(dataset_->num_domains()));
+  for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
+    batchers.emplace_back(&dataset_->domain(d).train, config_.batch_size,
+                          &rng_);
+  }
+  nn::Context ctx{/*training=*/true, &rng_};
+  bool any = true;
+  data::Batch batch;
+  while (any) {
+    any = false;
+    for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
+      if (!batchers[static_cast<size_t>(d)].Next(&batch)) continue;
+      any = true;
+      opt_->ZeroGrad();
+      autograd::Var l = model_->Loss(batch, d, ctx);
+      autograd::Var s = log_vars_[static_cast<size_t>(d)];
+      // exp(-s) * L + s.
+      autograd::Var weighted = autograd::Add(
+          autograd::Mul(autograd::Exp(autograd::Neg(s)), l), s);
+      weighted.Backward();
+      opt_->Step();
+      ++batch_step_count_;
+    }
+  }
+}
+
+float WeightedLoss::DomainWeight(int64_t domain) const {
+  return std::exp(-log_vars_[static_cast<size_t>(domain)].value().at(0));
+}
+
+}  // namespace core
+}  // namespace mamdr

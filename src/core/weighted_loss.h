@@ -1,0 +1,36 @@
+// Uncertainty-weighted multi-task loss (Kendall et al., CVPR'18).
+//
+// Each domain d gets a learnable log-variance s_d; a batch from domain d is
+// trained with  exp(-s_d) * L_d + s_d,  so the weights balance themselves
+// during training. §V-G discusses why this cannot resolve gradient conflict.
+#ifndef MAMDR_CORE_WEIGHTED_LOSS_H_
+#define MAMDR_CORE_WEIGHTED_LOSS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace mamdr {
+namespace core {
+
+class WeightedLoss : public Framework {
+ public:
+  WeightedLoss(models::CtrModel* model,
+               const data::MultiDomainDataset* dataset, TrainConfig config);
+
+  void TrainEpoch() override;
+  std::string name() const override { return "Weighted Loss"; }
+
+  /// Current weight exp(-s_d) of a domain (introspection / tests).
+  float DomainWeight(int64_t domain) const;
+
+ private:
+  std::vector<autograd::Var> log_vars_;  // s_d, one scalar per domain
+  std::unique_ptr<optim::Optimizer> opt_;
+};
+
+}  // namespace core
+}  // namespace mamdr
+
+#endif  // MAMDR_CORE_WEIGHTED_LOSS_H_

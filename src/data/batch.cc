@@ -1,0 +1,74 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace data {
+
+Batcher::Batcher(const std::vector<Interaction>* data, int64_t batch_size,
+                 Rng* rng)
+    : data_(data), batch_size_(batch_size), rng_(rng) {
+  MAMDR_CHECK(data != nullptr);
+  MAMDR_CHECK_GT(batch_size, 0);
+  MAMDR_CHECK(rng != nullptr);
+  order_.resize(data->size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  Reshuffle();
+}
+
+void Batcher::Reshuffle() {
+  rng_->Shuffle(&order_);
+  cursor_ = 0;
+}
+
+bool Batcher::Next(Batch* out) {
+  if (cursor_ >= order_.size()) return false;
+  const size_t end = std::min(cursor_ + static_cast<size_t>(batch_size_),
+                              order_.size());
+  out->users.clear();
+  out->items.clear();
+  out->labels.clear();
+  out->users.reserve(end - cursor_);
+  out->items.reserve(end - cursor_);
+  out->labels.reserve(end - cursor_);
+  for (size_t i = cursor_; i < end; ++i) {
+    const Interaction& it = (*data_)[order_[i]];
+    out->users.push_back(it.user);
+    out->items.push_back(it.item);
+    out->labels.push_back(it.label);
+  }
+  cursor_ = end;
+  return true;
+}
+
+Batch Batcher::All(const std::vector<Interaction>& data) {
+  Batch b;
+  b.users.reserve(data.size());
+  b.items.reserve(data.size());
+  b.labels.reserve(data.size());
+  for (const auto& it : data) {
+    b.users.push_back(it.user);
+    b.items.push_back(it.item);
+    b.labels.push_back(it.label);
+  }
+  return b;
+}
+
+Batch Batcher::Sample(const std::vector<Interaction>& data, int64_t limit,
+                      Rng* rng) {
+  if (static_cast<int64_t>(data.size()) <= limit) return All(data);
+  Batch b;
+  auto idx = rng->SampleWithoutReplacement(data.size(),
+                                           static_cast<size_t>(limit));
+  for (size_t i : idx) {
+    b.users.push_back(data[i].user);
+    b.items.push_back(data[i].item);
+    b.labels.push_back(data[i].label);
+  }
+  return b;
+}
+
+}  // namespace data
+}  // namespace mamdr

@@ -1,0 +1,52 @@
+// Mini-batch iteration over one domain's interactions.
+#ifndef MAMDR_DATA_BATCH_H_
+#define MAMDR_DATA_BATCH_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/types.h"
+
+namespace mamdr {
+namespace data {
+
+/// One mini-batch in struct-of-arrays form (what models consume).
+struct Batch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<float> labels;
+
+  int64_t size() const { return static_cast<int64_t>(users.size()); }
+};
+
+/// Shuffling batcher over a span of interactions. Reshuffle() starts a new
+/// epoch; Next() returns false when the epoch is exhausted.
+class Batcher {
+ public:
+  Batcher(const std::vector<Interaction>* data, int64_t batch_size, Rng* rng);
+
+  /// New epoch: reshuffle and rewind.
+  void Reshuffle();
+
+  /// Fill `out` with the next batch. Returns false at end of epoch.
+  bool Next(Batch* out);
+
+  /// All data as one batch (evaluation).
+  static Batch All(const std::vector<Interaction>& data);
+
+  /// At most `limit` random interactions as one batch.
+  static Batch Sample(const std::vector<Interaction>& data, int64_t limit,
+                      Rng* rng);
+
+ private:
+  const std::vector<Interaction>* data_;
+  int64_t batch_size_;
+  Rng* rng_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace mamdr
+
+#endif  // MAMDR_DATA_BATCH_H_

@@ -1,0 +1,143 @@
+#include "data/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mamdr {
+namespace data {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Domain names may contain spaces; directory names must not.
+std::string Slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+Status WriteSplit(const fs::path& path,
+                  const std::vector<Interaction>& split) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path.string());
+  out << "user,item,label\n";
+  for (const auto& it : split) {
+    out << it.user << ',' << it.item << ','
+        << static_cast<int>(it.label) << '\n';
+  }
+  return out ? Status::OK()
+             : Status::Internal("short write to " + path.string());
+}
+
+Status ReadSplit(const fs::path& path, std::vector<Interaction>* split) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("missing split file " + path.string());
+  std::string line;
+  std::getline(in, line);  // header
+  if (line != "user,item,label") {
+    return Status::InvalidArgument("bad header in " + path.string());
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Interaction it;
+    int label = 0;
+    if (std::sscanf(line.c_str(), "%lld,%lld,%d",
+                    reinterpret_cast<long long*>(&it.user),
+                    reinterpret_cast<long long*>(&it.item), &label) != 3) {
+      return Status::InvalidArgument("bad row '" + line + "' in " +
+                                     path.string());
+    }
+    it.label = static_cast<float>(label);
+    split->push_back(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCsv(const MultiDomainDataset& ds, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("mkdir " + dir + ": " + ec.message());
+
+  {
+    std::ofstream meta(fs::path(dir) / "meta.csv");
+    if (!meta) return Status::Internal("cannot open meta.csv");
+    meta.precision(17);  // round-trip exact doubles
+    meta << "name," << ds.name() << "\n";
+    meta << "num_users," << ds.num_users() << "\n";
+    meta << "num_items," << ds.num_items() << "\n";
+    for (const auto& d : ds.domains()) {
+      meta << "domain," << d.name << ',' << d.ctr_ratio << "\n";
+    }
+  }
+  for (const auto& d : ds.domains()) {
+    const fs::path ddir = fs::path(dir) / Slug(d.name);
+    fs::create_directories(ddir, ec);
+    if (ec) return Status::Internal("mkdir " + ddir.string());
+    MAMDR_RETURN_NOT_OK(WriteSplit(ddir / "train.csv", d.train));
+    MAMDR_RETURN_NOT_OK(WriteSplit(ddir / "val.csv", d.val));
+    MAMDR_RETURN_NOT_OK(WriteSplit(ddir / "test.csv", d.test));
+  }
+  return Status::OK();
+}
+
+Result<MultiDomainDataset> LoadCsv(const std::string& dir) {
+  std::ifstream meta(fs::path(dir) / "meta.csv");
+  if (!meta) return Status::NotFound("missing meta.csv in " + dir);
+
+  std::string name;
+  int64_t num_users = 0, num_items = 0;
+  struct DomainMeta {
+    std::string name;
+    double ctr_ratio;
+  };
+  std::vector<DomainMeta> domain_meta;
+
+  std::string line;
+  while (std::getline(meta, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string key;
+    std::getline(ss, key, ',');
+    if (key == "name") {
+      std::getline(ss, name);
+    } else if (key == "num_users") {
+      ss >> num_users;
+    } else if (key == "num_items") {
+      ss >> num_items;
+    } else if (key == "domain") {
+      DomainMeta dm;
+      std::getline(ss, dm.name, ',');
+      ss >> dm.ctr_ratio;
+      domain_meta.push_back(std::move(dm));
+    } else {
+      return Status::InvalidArgument("unknown meta key '" + key + "'");
+    }
+  }
+  if (num_users <= 0 || num_items <= 0) {
+    return Status::InvalidArgument("meta.csv missing universe sizes");
+  }
+
+  MultiDomainDataset ds(name, num_users, num_items);
+  for (const auto& dm : domain_meta) {
+    DomainData d;
+    d.name = dm.name;
+    d.ctr_ratio = dm.ctr_ratio;
+    const fs::path ddir = fs::path(dir) / Slug(dm.name);
+    MAMDR_RETURN_NOT_OK(ReadSplit(ddir / "train.csv", &d.train));
+    MAMDR_RETURN_NOT_OK(ReadSplit(ddir / "val.csv", &d.val));
+    MAMDR_RETURN_NOT_OK(ReadSplit(ddir / "test.csv", &d.test));
+    MAMDR_RETURN_NOT_OK(ds.AddDomain(std::move(d)));
+  }
+  MAMDR_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace data
+}  // namespace mamdr

@@ -1,0 +1,27 @@
+// CSV import/export of multi-domain datasets.
+//
+// On-disk layout mirrors the released MAMDR benchmarks: one directory per
+// dataset with a `meta.csv` (name, universe sizes, per-domain names and CTR
+// ratios) and one `<domain>/<split>.csv` per domain and split, each row
+// `user,item,label`.
+#ifndef MAMDR_DATA_IO_H_
+#define MAMDR_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace mamdr {
+namespace data {
+
+/// Write the dataset under `dir` (created if missing).
+Status SaveCsv(const MultiDomainDataset& ds, const std::string& dir);
+
+/// Load a dataset previously written by SaveCsv.
+Result<MultiDomainDataset> LoadCsv(const std::string& dir);
+
+}  // namespace data
+}  // namespace mamdr
+
+#endif  // MAMDR_DATA_IO_H_

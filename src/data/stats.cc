@@ -1,0 +1,55 @@
+#include "data/stats.h"
+
+#include "common/string_util.h"
+
+namespace mamdr {
+namespace data {
+
+DatasetStats ComputeStats(const MultiDomainDataset& ds) {
+  DatasetStats s;
+  s.name = ds.name();
+  s.num_domains = ds.num_domains();
+  s.num_users = ds.num_users();
+  s.num_items = ds.num_items();
+  s.train = ds.TotalTrain();
+  s.val = ds.TotalVal();
+  s.test = ds.TotalTest();
+  const int64_t total = s.train + s.val + s.test;
+  if (s.num_domains > 0) s.samples_per_domain = total / s.num_domains;
+  for (const auto& d : ds.domains()) {
+    DomainStats row;
+    row.name = d.name;
+    row.samples = d.TotalSamples();
+    row.percentage =
+        total > 0 ? 100.0 * static_cast<double>(row.samples) / total : 0.0;
+    row.ctr_ratio = d.ctr_ratio;
+    s.per_domain.push_back(std::move(row));
+  }
+  return s;
+}
+
+std::string FormatStats(const DatasetStats& s, bool per_domain) {
+  std::string out;
+  out += RenderTable(
+      {"Dataset", "#Domain", "#User", "#Item", "#Train", "#Val", "#Test",
+       "Sample/Domain"},
+      {{s.name, std::to_string(s.num_domains), std::to_string(s.num_users),
+        std::to_string(s.num_items), std::to_string(s.train),
+        std::to_string(s.val), std::to_string(s.test),
+        std::to_string(s.samples_per_domain)}});
+  if (per_domain) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& d : s.per_domain) {
+      rows.push_back({d.name, std::to_string(d.samples),
+                      FormatFloat(d.percentage, 2) + "%",
+                      FormatFloat(d.ctr_ratio, 2)});
+    }
+    out += "\n";
+    out += RenderTable({"Domain", "#Samples", "Percentage", "CTR Ratio"},
+                       rows);
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace mamdr

@@ -1,0 +1,42 @@
+// Dataset statistics (Tables I-IV of the paper).
+#ifndef MAMDR_DATA_STATS_H_
+#define MAMDR_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mamdr {
+namespace data {
+
+/// Per-domain statistics row.
+struct DomainStats {
+  std::string name;
+  int64_t samples = 0;
+  double percentage = 0.0;  // of all samples
+  double ctr_ratio = 0.0;
+};
+
+/// Whole-dataset statistics (Table I row).
+struct DatasetStats {
+  std::string name;
+  int64_t num_domains = 0;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t train = 0;
+  int64_t val = 0;
+  int64_t test = 0;
+  int64_t samples_per_domain = 0;  // mean
+  std::vector<DomainStats> per_domain;
+};
+
+DatasetStats ComputeStats(const MultiDomainDataset& ds);
+
+/// Render like Table I (+ per-domain breakdown like Tables II-IV).
+std::string FormatStats(const DatasetStats& stats, bool per_domain = true);
+
+}  // namespace data
+}  // namespace mamdr
+
+#endif  // MAMDR_DATA_STATS_H_

@@ -1,0 +1,343 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mamdr {
+namespace data {
+namespace {
+
+// Published per-domain sample shares (%) and CTR ratios (Tables II-IV).
+struct ShareRatio {
+  const char* name;
+  double share;
+  double ratio;
+};
+
+constexpr ShareRatio kAmazon6[] = {
+    {"Musical Instruments", 7.11, 0.22}, {"Office Products", 23.17, 0.23},
+    {"Patio Lawn and Garden", 17.87, 0.32}, {"Prime Pantry", 4.10, 0.23},
+    {"Toys and Games", 31.80, 0.47}, {"Video Games", 15.94, 0.21},
+};
+
+constexpr ShareRatio kAmazon13[] = {
+    {"Arts Crafts and Sewing", 11.86, 0.22},
+    {"Digital Music", 3.78, 0.23},
+    {"Gift Cards", 0.06, 0.32},
+    {"Industrial and Scientific", 1.86, 0.23},
+    {"Luxury Beauty", 0.43, 0.47},
+    {"Magazine Subscriptions", 0.06, 0.21},
+    {"Musical Instruments", 3.99, 0.36},
+    {"Office Products", 15.58, 0.30},
+    {"Patio Lawn and Garden", 11.36, 0.46},
+    {"Prime Pantry", 3.22, 0.25},
+    {"Software", 0.05, 0.30},
+    {"Toys and Games", 36.97, 0.30},
+    {"Video Games", 10.78, 0.27},
+};
+
+constexpr double kTaobaoShare[30] = {
+    1.82, 0.96, 2.77, 8.60, 1.59, 0.99,  0.58, 3.31, 0.77, 2.46,
+    4.03, 0.89, 1.22, 17.29, 2.14, 0.75, 1.94, 7.42, 1.67, 0.40,
+    0.65, 4.03, 5.73, 1.01, 9.38, 0.73,  3.43, 5.36, 3.35, 4.72};
+constexpr double kTaobaoRatio[30] = {
+    0.22, 0.23, 0.32, 0.23, 0.47, 0.21, 0.36, 0.30, 0.46, 0.25,
+    0.30, 0.30, 0.27, 0.20, 0.33, 0.23, 0.38, 0.22, 0.29, 0.33,
+    0.47, 0.23, 0.24, 0.44, 0.21, 0.47, 0.37, 0.28, 0.45, 0.43};
+
+int64_t PositivesFromShare(double share_pct, double ratio,
+                           double total_samples) {
+  // share is of *all* samples; positives are the ratio/(1+ratio) fraction.
+  const double samples = share_pct / 100.0 * total_samples;
+  const double pos = samples * ratio / (1.0 + ratio);
+  return std::max<int64_t>(8, static_cast<int64_t>(std::llround(pos)));
+}
+
+uint64_t PairKey(int64_t user, int64_t item) {
+  return (static_cast<uint64_t>(user) << 26) ^ static_cast<uint64_t>(item);
+}
+
+/// Stratified split of one domain's interactions into train/val/test so that
+/// every split keeps both labels (needed for per-domain AUC).
+void StratifiedSplit(std::vector<Interaction> all, double train_frac,
+                     double val_frac, Rng* rng, DomainData* out) {
+  std::vector<Interaction> pos, neg;
+  for (const auto& it : all) (it.label > 0.5f ? pos : neg).push_back(it);
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  auto place = [&](std::vector<Interaction>& group) {
+    const size_t n = group.size();
+    size_t n_train = static_cast<size_t>(std::floor(n * train_frac));
+    size_t n_val = static_cast<size_t>(std::floor(n * val_frac));
+    // Guarantee at least one of each label in train and test when possible.
+    if (n >= 3) {
+      n_train = std::max<size_t>(n_train, 1);
+      if (n_train + n_val >= n) n_val = n - n_train - 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        out->train.push_back(group[i]);
+      } else if (i < n_train + n_val) {
+        out->val.push_back(group[i]);
+      } else {
+        out->test.push_back(group[i]);
+      }
+    }
+  };
+  place(pos);
+  place(neg);
+  rng->Shuffle(&out->train);
+  rng->Shuffle(&out->val);
+  rng->Shuffle(&out->test);
+}
+
+}  // namespace
+
+Result<MultiDomainDataset> Generate(const SyntheticConfig& config) {
+  if (config.domains.empty()) {
+    return Status::InvalidArgument("config has no domains");
+  }
+  if (config.train_frac <= 0.0 || config.val_frac < 0.0 ||
+      config.train_frac + config.val_frac >= 1.0) {
+    return Status::InvalidArgument("invalid train/val fractions");
+  }
+  if (config.num_users <= 0 || config.num_items <= 0 ||
+      config.latent_dim <= 0) {
+    return Status::InvalidArgument("non-positive universe sizes");
+  }
+  for (const auto& d : config.domains) {
+    if (d.num_positives <= 0) {
+      return Status::InvalidArgument("domain '" + d.name +
+                                     "' has no positives");
+    }
+    if (d.ctr_ratio <= 0.0 || d.ctr_ratio > 1.0) {
+      return Status::InvalidArgument("domain '" + d.name +
+                                     "' ctr_ratio outside (0, 1]");
+    }
+  }
+
+  Rng rng(config.seed);
+  const int64_t u_count = config.num_users;
+  const int64_t i_count = config.num_items;
+  const int64_t latent = config.latent_dim;
+  const double inv_sqrt_l = 1.0 / std::sqrt(static_cast<double>(latent));
+
+  // Global latent factors with bucket structure: a user's latent mixes a
+  // shared group component (index u % group_count) with an individual
+  // component, so the model-side derived fields carry pooled signal.
+  const double gw = std::sqrt(std::clamp(config.group_weight, 0.0, 1.0));
+  const double iw = std::sqrt(1.0 - std::clamp(config.group_weight, 0.0, 1.0));
+  std::vector<float> group_lat(
+      static_cast<size_t>(config.group_count * latent));
+  std::vector<float> cat_lat(static_cast<size_t>(config.cat_count * latent));
+  for (auto& x : group_lat) x = static_cast<float>(rng.Normal() * inv_sqrt_l);
+  for (auto& x : cat_lat) x = static_cast<float>(rng.Normal() * inv_sqrt_l);
+  std::vector<float> z(static_cast<size_t>(u_count * latent));
+  std::vector<float> w(static_cast<size_t>(i_count * latent));
+  for (int64_t u = 0; u < u_count; ++u) {
+    const float* g = group_lat.data() + (u % config.group_count) * latent;
+    for (int64_t l = 0; l < latent; ++l) {
+      z[static_cast<size_t>(u * latent + l)] = static_cast<float>(
+          gw * g[l] + iw * rng.Normal() * inv_sqrt_l);
+    }
+  }
+  for (int64_t v = 0; v < i_count; ++v) {
+    const float* c = cat_lat.data() + (v % config.cat_count) * latent;
+    for (int64_t l = 0; l < latent; ++l) {
+      w[static_cast<size_t>(v * latent + l)] = static_cast<float>(
+          gw * c[l] + iw * rng.Normal() * inv_sqrt_l);
+    }
+  }
+
+  // Shared per-item quality: the cross-domain signal.
+  std::vector<double> quality(static_cast<size_t>(i_count));
+  for (auto& q : quality) q = rng.Normal(0.0, config.quality_std);
+
+  MultiDomainDataset ds(config.name, u_count, i_count);
+
+  for (const auto& spec : config.domains) {
+    Rng drng = rng.Fork();
+    // Domain preference mask: interpolate 1 <-> random sign.
+    std::vector<double> mask(static_cast<size_t>(latent));
+    for (auto& m : mask) {
+      const double sign = drng.Bernoulli(0.5) ? 1.0 : -1.0;
+      m = (1.0 - spec.conflict) * 1.0 + spec.conflict * sign;
+    }
+    // Per-domain item taste: what the specific parameters should capture.
+    std::vector<double> dquality(static_cast<size_t>(i_count));
+    for (auto& q : dquality) {
+      q = drng.Normal(0.0, config.domain_quality_std);
+    }
+
+    // Domain user/item pools (partial overlap across domains).
+    const int64_t pool_users = std::min<int64_t>(
+        u_count, std::max<int64_t>(20, spec.num_positives * 3 / 5));
+    const int64_t pool_items = std::min<int64_t>(
+        i_count, std::max<int64_t>(15, spec.num_positives * 3 / 10));
+    std::vector<size_t> users = drng.SampleWithoutReplacement(
+        static_cast<size_t>(u_count), static_cast<size_t>(pool_users));
+    std::vector<size_t> items = drng.SampleWithoutReplacement(
+        static_cast<size_t>(i_count), static_cast<size_t>(pool_items));
+
+    auto affinity = [&](int64_t uu, int64_t vv) {
+      double a = quality[static_cast<size_t>(vv)] +
+                 dquality[static_cast<size_t>(vv)];
+      const float* zu = z.data() + uu * latent;
+      const float* wv = w.data() + vv * latent;
+      for (int64_t l = 0; l < latent; ++l) {
+        a += static_cast<double>(zu[l]) * wv[l] *
+             mask[static_cast<size_t>(l)];
+      }
+      return a;
+    };
+
+    // Zipf-like user activity: index into the pool via U^(1+skew), so low
+    // pool positions are sampled far more often.
+    auto sample_user = [&]() {
+      const double r = std::pow(drng.Uniform(), 1.0 + config.user_skew);
+      size_t pos = static_cast<size_t>(r * static_cast<double>(users.size()));
+      if (pos >= users.size()) pos = users.size() - 1;
+      return static_cast<int64_t>(users[pos]);
+    };
+
+    std::vector<Interaction> all;
+    std::unordered_set<uint64_t> clicked;
+    // Positives by rejection sampling on the click probability.
+    int64_t produced = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = spec.num_positives * 200;
+    while (produced < spec.num_positives && attempts < max_attempts) {
+      ++attempts;
+      const int64_t uu = sample_user();
+      const int64_t vv =
+          static_cast<int64_t>(items[drng.UniformInt(items.size())]);
+      const double p =
+          1.0 / (1.0 + std::exp(-config.temperature * affinity(uu, vv)));
+      if (!drng.Bernoulli(p)) continue;
+      if (!clicked.insert(PairKey(uu, vv)).second) continue;
+      all.push_back({uu, vv, 1.0f});
+      ++produced;
+    }
+    if (produced == 0) {
+      return Status::Internal("failed to generate positives for '" +
+                              spec.name + "'");
+    }
+    // Negatives: uniform un-clicked pairs, count = #pos / ratio (Eq. 23).
+    const int64_t num_neg = static_cast<int64_t>(
+        std::llround(static_cast<double>(produced) / spec.ctr_ratio));
+    int64_t neg_produced = 0;
+    int64_t neg_attempts = 0;
+    const int64_t max_neg_attempts = num_neg * 100;
+    while (neg_produced < num_neg && neg_attempts < max_neg_attempts) {
+      ++neg_attempts;
+      // Same user skew as positives so user frequency alone carries no
+      // label information.
+      const int64_t uu = sample_user();
+      const int64_t vv =
+          static_cast<int64_t>(items[drng.UniformInt(items.size())]);
+      if (clicked.count(PairKey(uu, vv)) > 0) continue;
+      all.push_back({uu, vv, 0.0f});
+      ++neg_produced;
+    }
+
+    DomainData domain;
+    domain.name = spec.name;
+    domain.ctr_ratio = static_cast<double>(produced) /
+                       static_cast<double>(std::max<int64_t>(1, neg_produced));
+    StratifiedSplit(std::move(all), config.train_frac, config.val_frac, &drng,
+                    &domain);
+    MAMDR_RETURN_NOT_OK(ds.AddDomain(std::move(domain)));
+  }
+
+  MAMDR_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+SyntheticConfig Amazon6Like(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "Amazon-6-like";
+  c.num_users = 4000;
+  c.num_items = 1500;
+  c.seed = seed;
+  const double total = 24000.0 * scale;
+  for (const auto& sr : kAmazon6) {
+    DomainSpec d;
+    d.name = sr.name;
+    d.num_positives = PositivesFromShare(sr.share, sr.ratio, total);
+    d.ctr_ratio = sr.ratio;
+    d.conflict = 0.6;
+    c.domains.push_back(std::move(d));
+  }
+  return c;
+}
+
+SyntheticConfig Amazon13Like(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "Amazon-13-like";
+  c.num_users = 4500;
+  c.num_items = 1800;
+  c.seed = seed;
+  const double total = 26000.0 * scale;
+  for (const auto& sr : kAmazon13) {
+    DomainSpec d;
+    d.name = sr.name;
+    d.num_positives = PositivesFromShare(sr.share, sr.ratio, total);
+    d.ctr_ratio = sr.ratio;
+    d.conflict = 0.6;
+    c.domains.push_back(std::move(d));
+  }
+  return c;
+}
+
+SyntheticConfig TaobaoLike(int num_domains, double scale, uint64_t seed) {
+  MAMDR_CHECK(num_domains == 10 || num_domains == 20 || num_domains == 30)
+      << "TaobaoLike supports 10/20/30 domains";
+  SyntheticConfig c;
+  c.name = "Taobao-" + std::to_string(num_domains) + "-like";
+  c.num_users = 600 * num_domains / 10;
+  c.num_items = 250 * num_domains / 10;
+  c.seed = seed;
+  // Taobao domains are sparser: smaller totals than Amazon.
+  const double total = 730.0 * num_domains * scale;
+  // Renormalize the first `num_domains` published shares.
+  double share_sum = 0.0;
+  for (int i = 0; i < num_domains; ++i) share_sum += kTaobaoShare[i];
+  for (int i = 0; i < num_domains; ++i) {
+    DomainSpec d;
+    d.name = "D" + std::to_string(i + 1);
+    d.num_positives = PositivesFromShare(
+        kTaobaoShare[i] / share_sum * 100.0, kTaobaoRatio[i], total);
+    d.ctr_ratio = kTaobaoRatio[i];
+    d.conflict = 0.6;
+    c.domains.push_back(std::move(d));
+  }
+  return c;
+}
+
+SyntheticConfig IndustryLike(int num_domains, double scale, uint64_t seed) {
+  MAMDR_CHECK_GT(num_domains, 0);
+  SyntheticConfig c;
+  c.name = "Industry-like";
+  c.num_users = 3000;
+  c.num_items = 1200;
+  c.seed = seed;
+  Rng rng(seed ^ 0xABCDEF);
+  for (int i = 0; i < num_domains; ++i) {
+    DomainSpec d;
+    d.name = "online-D" + std::to_string(i + 1);
+    // Heavy-tailed sizes: a few large domains, many tiny ones.
+    d.num_positives = std::max<int64_t>(
+        10, static_cast<int64_t>(rng.LogNormal(4.8, 1.1) * scale));
+    d.ctr_ratio = rng.Uniform(0.2, 0.5);
+    d.conflict = rng.Uniform(0.3, 0.9);  // diverse relatedness (§V-A)
+    c.domains.push_back(std::move(d));
+  }
+  return c;
+}
+
+}  // namespace data
+}  // namespace mamdr

@@ -1,0 +1,36 @@
+// Core data types for multi-domain CTR recommendation.
+#ifndef MAMDR_DATA_TYPES_H_
+#define MAMDR_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mamdr {
+namespace data {
+
+/// One user-item interaction record (u, v, y) from Definition III.1.
+struct Interaction {
+  int64_t user = 0;
+  int64_t item = 0;
+  float label = 0.0f;  // 1 = clicked, 0 = not clicked
+};
+
+/// All data of one domain D^i = {U^i, V^i, T^i}, pre-split.
+struct DomainData {
+  std::string name;
+  std::vector<Interaction> train;
+  std::vector<Interaction> val;
+  std::vector<Interaction> test;
+  /// #positive / #negative, assigned per domain in [0.2, 0.5] (Eq. 23).
+  double ctr_ratio = 0.0;
+
+  int64_t TotalSamples() const {
+    return static_cast<int64_t>(train.size() + val.size() + test.size());
+  }
+};
+
+}  // namespace data
+}  // namespace mamdr
+
+#endif  // MAMDR_DATA_TYPES_H_

@@ -1,0 +1,46 @@
+#include "metrics/auc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace metrics {
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  MAMDR_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  if (n == 0) return 0.5;
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Fractional ranks with tie handling.
+  double rank_sum_pos = 0.0;
+  size_t num_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[idx[j + 1]] == scores[idx[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[idx[k]] > 0.5f) {
+        rank_sum_pos += avg_rank;
+        ++num_pos;
+      }
+    }
+    i = j + 1;
+  }
+  const size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(num_pos) *
+                                      (static_cast<double>(num_pos) + 1.0) /
+                                      2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace metrics
+}  // namespace mamdr

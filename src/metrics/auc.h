@@ -1,0 +1,18 @@
+// Exact ROC-AUC.
+#ifndef MAMDR_METRICS_AUC_H_
+#define MAMDR_METRICS_AUC_H_
+
+#include <vector>
+
+namespace mamdr {
+namespace metrics {
+
+/// Exact AUC from scores and binary labels, computed with the rank-sum
+/// statistic (ties get fractional rank). Returns 0.5 when one class is
+/// absent (undefined case — matches common evaluation practice).
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels);
+
+}  // namespace metrics
+}  // namespace mamdr
+
+#endif  // MAMDR_METRICS_AUC_H_

@@ -1,0 +1,41 @@
+#include "metrics/conflict_probe.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace metrics {
+
+ConflictReport MeasureConflict(const std::vector<Tensor>& domain_grads) {
+  ConflictReport report;
+  const size_t n = domain_grads.size();
+  if (n < 2) return report;
+  std::vector<double> norms(n);
+  for (size_t i = 0; i < n; ++i) {
+    norms[i] = std::sqrt(static_cast<double>(ops::SquaredNorm(domain_grads[i])));
+  }
+  double sum_ip = 0.0, sum_cos = 0.0;
+  int64_t negatives = 0, pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double ip =
+          static_cast<double>(ops::Dot(domain_grads[i], domain_grads[j]));
+      sum_ip += ip;
+      const double denom = norms[i] * norms[j];
+      sum_cos += denom > 1e-12 ? ip / denom : 0.0;
+      if (ip < 0.0) ++negatives;
+      ++pairs;
+    }
+  }
+  report.num_pairs = pairs;
+  report.mean_inner_product = sum_ip / static_cast<double>(pairs);
+  report.mean_cosine = sum_cos / static_cast<double>(pairs);
+  report.conflict_rate =
+      static_cast<double>(negatives) / static_cast<double>(pairs);
+  return report;
+}
+
+}  // namespace metrics
+}  // namespace mamdr

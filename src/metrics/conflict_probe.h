@@ -1,0 +1,31 @@
+// Gradient-conflict diagnostics (§III-B, Fig. 3).
+//
+// Conflict between domains i and j is a negative inner product <g_i, g_j> of
+// their loss gradients at the same parameter point. The probe quantifies how
+// much a training framework mitigates conflict: DN should raise the mean
+// pairwise cosine relative to Alternate training (§IV-C).
+#ifndef MAMDR_METRICS_CONFLICT_PROBE_H_
+#define MAMDR_METRICS_CONFLICT_PROBE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mamdr {
+namespace metrics {
+
+struct ConflictReport {
+  double mean_inner_product = 0.0;
+  double mean_cosine = 0.0;
+  /// Fraction of domain pairs with negative inner product.
+  double conflict_rate = 0.0;
+  int64_t num_pairs = 0;
+};
+
+/// Pairwise statistics over per-domain flattened gradients.
+ConflictReport MeasureConflict(const std::vector<Tensor>& domain_grads);
+
+}  // namespace metrics
+}  // namespace mamdr
+
+#endif  // MAMDR_METRICS_CONFLICT_PROBE_H_

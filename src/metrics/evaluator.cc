@@ -1,0 +1,54 @@
+#include "metrics/evaluator.h"
+
+#include "common/logging.h"
+#include "metrics/auc.h"
+
+namespace mamdr {
+namespace metrics {
+namespace {
+
+const std::vector<data::Interaction>& SelectSplit(const data::DomainData& d,
+                                                  Split split) {
+  switch (split) {
+    case Split::kTrain:
+      return d.train;
+    case Split::kVal:
+      return d.val;
+    case Split::kTest:
+      return d.test;
+  }
+  MAMDR_CHECK(false) << "unreachable";
+  return d.test;
+}
+
+}  // namespace
+
+double EvaluateDomain(const data::MultiDomainDataset& ds, int64_t domain,
+                      Split split, const ScoreFn& score) {
+  const auto& interactions = SelectSplit(ds.domain(domain), split);
+  data::Batch batch = data::Batcher::All(interactions);
+  std::vector<float> scores = score(batch, domain);
+  MAMDR_CHECK_EQ(scores.size(), batch.labels.size());
+  return Auc(scores, batch.labels);
+}
+
+std::vector<double> EvaluateAllDomains(const data::MultiDomainDataset& ds,
+                                       Split split, const ScoreFn& score) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(ds.num_domains()));
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    out.push_back(EvaluateDomain(ds, d, split, score));
+  }
+  return out;
+}
+
+double AverageAuc(const data::MultiDomainDataset& ds, Split split,
+                  const ScoreFn& score) {
+  const auto aucs = EvaluateAllDomains(ds, split, score);
+  double sum = 0.0;
+  for (double a : aucs) sum += a;
+  return aucs.empty() ? 0.5 : sum / static_cast<double>(aucs.size());
+}
+
+}  // namespace metrics
+}  // namespace mamdr

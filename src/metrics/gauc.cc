@@ -1,0 +1,41 @@
+#include "metrics/gauc.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "metrics/auc.h"
+
+namespace mamdr {
+namespace metrics {
+
+double GAuc(const std::vector<int64_t>& users,
+            const std::vector<float>& scores,
+            const std::vector<float>& labels) {
+  MAMDR_CHECK_EQ(users.size(), scores.size());
+  MAMDR_CHECK_EQ(users.size(), labels.size());
+  struct Group {
+    std::vector<float> scores;
+    std::vector<float> labels;
+    bool has_pos = false;
+    bool has_neg = false;
+  };
+  std::map<int64_t, Group> groups;
+  for (size_t i = 0; i < users.size(); ++i) {
+    Group& g = groups[users[i]];
+    g.scores.push_back(scores[i]);
+    g.labels.push_back(labels[i]);
+    (labels[i] > 0.5f ? g.has_pos : g.has_neg) = true;
+  }
+  double weighted = 0.0, total_weight = 0.0;
+  for (const auto& [user, g] : groups) {
+    (void)user;
+    if (!g.has_pos || !g.has_neg) continue;  // AUC undefined
+    const double w = static_cast<double>(g.scores.size());
+    weighted += w * Auc(g.scores, g.labels);
+    total_weight += w;
+  }
+  return total_weight > 0.0 ? weighted / total_weight : 0.5;
+}
+
+}  // namespace metrics
+}  // namespace mamdr

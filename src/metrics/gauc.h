@@ -1,0 +1,23 @@
+// GAUC: per-user (group) AUC, weighted by the user's impression count —
+// the industrial CTR metric that removes cross-user score-scale effects.
+#ifndef MAMDR_METRICS_GAUC_H_
+#define MAMDR_METRICS_GAUC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mamdr {
+namespace metrics {
+
+/// GAUC = sum_u w_u * AUC_u / sum_u w_u, where AUC_u is computed over user
+/// u's samples and w_u is the number of those samples. Users whose samples
+/// are single-class are skipped (their AUC is undefined). Returns 0.5 when
+/// no user is scoreable.
+double GAuc(const std::vector<int64_t>& users,
+            const std::vector<float>& scores,
+            const std::vector<float>& labels);
+
+}  // namespace metrics
+}  // namespace mamdr
+
+#endif  // MAMDR_METRICS_GAUC_H_

@@ -1,0 +1,25 @@
+#include "metrics/logloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace metrics {
+
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels, double eps) {
+  MAMDR_CHECK_EQ(probs.size(), labels.size());
+  if (probs.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p =
+        std::clamp(static_cast<double>(probs[i]), eps, 1.0 - eps);
+    acc += labels[i] > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(probs.size());
+}
+
+}  // namespace metrics
+}  // namespace mamdr

@@ -1,0 +1,19 @@
+// Binary log loss (cross entropy on probabilities) — the second standard
+// CTR metric alongside AUC.
+#ifndef MAMDR_METRICS_LOGLOSS_H_
+#define MAMDR_METRICS_LOGLOSS_H_
+
+#include <vector>
+
+namespace mamdr {
+namespace metrics {
+
+/// Mean -[y log p + (1-y) log(1-p)], probabilities clamped to
+/// [eps, 1-eps] for stability. Returns 0 on empty input.
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels, double eps = 1e-7);
+
+}  // namespace metrics
+}  // namespace mamdr
+
+#endif  // MAMDR_METRICS_LOGLOSS_H_

@@ -1,0 +1,61 @@
+#include "metrics/rank_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mamdr {
+namespace metrics {
+
+std::vector<RankRow> ComputeRankTable(
+    const std::vector<MethodResult>& results) {
+  MAMDR_CHECK(!results.empty());
+  const size_t num_domains = results[0].domain_auc.size();
+  for (const auto& r : results) {
+    MAMDR_CHECK_EQ(r.domain_auc.size(), num_domains);
+  }
+  std::vector<RankRow> rows(results.size());
+  for (size_t m = 0; m < results.size(); ++m) {
+    rows[m].method = results[m].method;
+    double sum = 0.0;
+    for (double a : results[m].domain_auc) sum += a;
+    rows[m].avg_auc = sum / static_cast<double>(num_domains);
+  }
+  // Per-domain ranks (1 = highest AUC); ties share the mean rank.
+  for (size_t d = 0; d < num_domains; ++d) {
+    std::vector<size_t> order(results.size());
+    for (size_t m = 0; m < order.size(); ++m) order[m] = m;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return results[a].domain_auc[d] > results[b].domain_auc[d];
+    });
+    size_t i = 0;
+    while (i < order.size()) {
+      size_t j = i;
+      while (j + 1 < order.size() &&
+             results[order[j + 1]].domain_auc[d] ==
+                 results[order[i]].domain_auc[d]) {
+        ++j;
+      }
+      const double avg_rank =
+          (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+      for (size_t k = i; k <= j; ++k) {
+        rows[order[k]].avg_rank += avg_rank / static_cast<double>(num_domains);
+      }
+      i = j + 1;
+    }
+  }
+  return rows;
+}
+
+std::string FormatRankTable(const std::vector<RankRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    cells.push_back(
+        {r.method, FormatFloat(r.avg_auc, 4), FormatFloat(r.avg_rank, 1)});
+  }
+  return RenderTable({"Method", "AUC", "RANK"}, cells);
+}
+
+}  // namespace metrics
+}  // namespace mamdr

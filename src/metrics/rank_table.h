@@ -1,0 +1,35 @@
+// Average AUC / average RANK aggregation (the two metrics of Table V).
+#ifndef MAMDR_METRICS_RANK_TABLE_H_
+#define MAMDR_METRICS_RANK_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mamdr {
+namespace metrics {
+
+/// Results of one method: per-domain AUCs.
+struct MethodResult {
+  std::string method;
+  std::vector<double> domain_auc;
+};
+
+/// Aggregated row: average AUC across domains and average rank among the
+/// compared methods (1 = best per domain, averaged over domains).
+struct RankRow {
+  std::string method;
+  double avg_auc = 0.0;
+  double avg_rank = 0.0;
+};
+
+/// Compute Table-V style aggregation. All methods must cover the same
+/// domains. Higher AUC ranks better; ties share the mean rank.
+std::vector<RankRow> ComputeRankTable(const std::vector<MethodResult>& results);
+
+/// Render as an ASCII table.
+std::string FormatRankTable(const std::vector<RankRow>& rows);
+
+}  // namespace metrics
+}  // namespace mamdr
+
+#endif  // MAMDR_METRICS_RANK_TABLE_H_

@@ -1,0 +1,25 @@
+#include "models/autoint.h"
+
+namespace mamdr {
+namespace models {
+
+AutoInt::AutoInt(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  attention_ = std::make_unique<nn::FieldAttention>(
+      encoder_->field_dim(), config.attn_heads, config.attn_head_dim, rng);
+  head_ = std::make_unique<nn::Linear>(
+      encoder_->num_fields() * attention_->out_dim(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("attention", attention_.get());
+  RegisterModule("head", head_.get());
+}
+
+Var AutoInt::Forward(const data::Batch& batch, int64_t /*domain*/,
+                     const nn::Context& /*ctx*/) {
+  std::vector<Var> fields = encoder_->Fields(batch);
+  std::vector<Var> interacted = attention_->Forward(fields);
+  return head_->Forward(autograd::ConcatCols(interacted));
+}
+
+}  // namespace models
+}  // namespace mamdr

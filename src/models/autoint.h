@@ -1,0 +1,31 @@
+// AutoInt (Song et al., CIKM'19).
+#ifndef MAMDR_MODELS_AUTOINT_H_
+#define MAMDR_MODELS_AUTOINT_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+
+namespace mamdr {
+namespace models {
+
+/// Field self-attention (interacting layer) -> concat -> linear logit.
+class AutoInt : public CtrModel {
+ public:
+  AutoInt(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "AutoInt"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::FieldAttention> attention_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_AUTOINT_H_

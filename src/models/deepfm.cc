@@ -1,0 +1,31 @@
+#include "models/deepfm.h"
+
+#include "nn/fm.h"
+
+namespace mamdr {
+namespace models {
+
+DeepFm::DeepFm(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  first_order_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  deep_ = std::make_unique<nn::MlpBlock>(encoder_->concat_dim(), config.hidden,
+                                         rng, config.dropout);
+  deep_head_ = std::make_unique<nn::Linear>(deep_->out_features(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("first_order", first_order_.get());
+  RegisterModule("deep", deep_.get());
+  RegisterModule("deep_head", deep_head_.get());
+}
+
+Var DeepFm::Forward(const data::Batch& batch, int64_t /*domain*/,
+                    const nn::Context& ctx) {
+  std::vector<Var> fields = encoder_->Fields(batch);
+  Var concat = autograd::ConcatCols(fields);
+  Var fm1 = first_order_->Forward(concat);
+  Var fm2 = nn::FmSecondOrder(fields);
+  Var deep_logit = deep_head_->Forward(deep_->Forward(concat, ctx));
+  return autograd::Add(autograd::Add(fm1, fm2), deep_logit);
+}
+
+}  // namespace models
+}  // namespace mamdr

@@ -1,0 +1,33 @@
+// DeepFM (Guo et al., IJCAI'17).
+#ifndef MAMDR_MODELS_DEEPFM_H_
+#define MAMDR_MODELS_DEEPFM_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// FM (first + second order) and a deep MLP share the same field embeddings;
+/// the three logits are summed.
+class DeepFm : public CtrModel {
+ public:
+  DeepFm(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "DeepFM"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> first_order_;
+  std::unique_ptr<nn::MlpBlock> deep_;
+  std::unique_ptr<nn::Linear> deep_head_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_DEEPFM_H_

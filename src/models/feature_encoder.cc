@@ -1,0 +1,43 @@
+#include "models/feature_encoder.h"
+
+namespace mamdr {
+namespace models {
+
+FeatureEncoder::FeatureEncoder(const ModelConfig& config, Rng* rng)
+    : dim_(config.embedding_dim),
+      num_user_groups_(config.num_user_groups),
+      num_item_cats_(config.num_item_cats) {
+  const bool trainable = !config.frozen_embeddings;
+  user_emb_ = std::make_unique<nn::Embedding>(config.num_users, dim_, rng,
+                                              trainable);
+  item_emb_ = std::make_unique<nn::Embedding>(config.num_items, dim_, rng,
+                                              trainable);
+  user_group_emb_ =
+      std::make_unique<nn::Embedding>(num_user_groups_, dim_, rng, trainable);
+  item_cat_emb_ =
+      std::make_unique<nn::Embedding>(num_item_cats_, dim_, rng, trainable);
+  RegisterModule("user_emb", user_emb_.get());
+  RegisterModule("item_emb", item_emb_.get());
+  RegisterModule("user_group_emb", user_group_emb_.get());
+  RegisterModule("item_cat_emb", item_cat_emb_.get());
+}
+
+std::vector<Var> FeatureEncoder::Fields(const data::Batch& batch) const {
+  std::vector<int64_t> groups(batch.users.size());
+  std::vector<int64_t> cats(batch.items.size());
+  for (size_t i = 0; i < batch.users.size(); ++i) {
+    groups[i] = batch.users[i] % num_user_groups_;
+  }
+  for (size_t i = 0; i < batch.items.size(); ++i) {
+    cats[i] = batch.items[i] % num_item_cats_;
+  }
+  return {user_emb_->Forward(batch.users), item_emb_->Forward(batch.items),
+          user_group_emb_->Forward(groups), item_cat_emb_->Forward(cats)};
+}
+
+Var FeatureEncoder::Concat(const data::Batch& batch) const {
+  return autograd::ConcatCols(Fields(batch));
+}
+
+}  // namespace models
+}  // namespace mamdr

@@ -1,0 +1,24 @@
+#include "models/mlp_model.h"
+
+namespace mamdr {
+namespace models {
+
+MlpModel::MlpModel(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  mlp_ = std::make_unique<nn::MlpBlock>(encoder_->concat_dim(), config.hidden,
+                                        rng, config.dropout);
+  head_ = std::make_unique<nn::Linear>(mlp_->out_features(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("mlp", mlp_.get());
+  RegisterModule("head", head_.get());
+}
+
+Var MlpModel::Forward(const data::Batch& batch, int64_t /*domain*/,
+                      const nn::Context& ctx) {
+  Var x = encoder_->Concat(batch);
+  Var h = mlp_->Forward(x, ctx);
+  return head_->Forward(h);
+}
+
+}  // namespace models
+}  // namespace mamdr

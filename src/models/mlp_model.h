@@ -1,0 +1,31 @@
+// MLP — the simplest structure, and the base model of MLP+MAMDR in Table V.
+#ifndef MAMDR_MODELS_MLP_MODEL_H_
+#define MAMDR_MODELS_MLP_MODEL_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// concat(fields) -> MLP -> logit.
+class MlpModel : public CtrModel {
+ public:
+  MlpModel(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::MlpBlock> mlp_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_MLP_MODEL_H_

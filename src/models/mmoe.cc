@@ -1,0 +1,51 @@
+#include "models/mmoe.h"
+
+namespace mamdr {
+namespace models {
+
+Mmoe::Mmoe(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  RegisterModule("encoder", encoder_.get());
+  for (int64_t e = 0; e < config.num_experts; ++e) {
+    experts_.push_back(std::make_unique<nn::MlpBlock>(
+        encoder_->concat_dim(), config.expert_hidden, rng, config.dropout));
+    RegisterModule("expert" + std::to_string(e), experts_.back().get());
+  }
+  for (int64_t d = 0; d < config.num_domains; ++d) {
+    gates_.push_back(std::make_unique<nn::Linear>(encoder_->concat_dim(),
+                                                  config.num_experts, rng));
+    towers_.push_back(std::make_unique<nn::MlpBlock>(
+        experts_[0]->out_features(), config.tower_hidden, rng,
+        config.dropout));
+    heads_.push_back(
+        std::make_unique<nn::Linear>(towers_.back()->out_features(), 1, rng));
+    RegisterModule("gate" + std::to_string(d), gates_.back().get());
+    RegisterModule("tower" + std::to_string(d), towers_.back().get());
+    RegisterModule("head" + std::to_string(d), heads_.back().get());
+  }
+}
+
+Var Mmoe::Forward(const data::Batch& batch, int64_t domain,
+                  const nn::Context& ctx) {
+  MAMDR_CHECK_GE(domain, 0);
+  MAMDR_CHECK_LT(domain, static_cast<int64_t>(gates_.size()));
+  Var x = encoder_->Concat(batch);
+  std::vector<Var> expert_out;
+  expert_out.reserve(experts_.size());
+  for (const auto& e : experts_) expert_out.push_back(e->Forward(x, ctx));
+  // Gate weights [B, E].
+  Var gate = autograd::SoftmaxRows(
+      gates_[static_cast<size_t>(domain)]->Forward(x));
+  // Weighted mixture of expert outputs.
+  Var mix;
+  for (size_t e = 0; e < experts_.size(); ++e) {
+    Var w = autograd::SliceCols(gate, static_cast<int64_t>(e), 1);
+    Var term = autograd::MulColVector(expert_out[e], w);
+    mix = e == 0 ? term : autograd::Add(mix, term);
+  }
+  Var t = towers_[static_cast<size_t>(domain)]->Forward(mix, ctx);
+  return heads_[static_cast<size_t>(domain)]->Forward(t);
+}
+
+}  // namespace models
+}  // namespace mamdr

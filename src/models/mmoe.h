@@ -1,0 +1,34 @@
+// Multi-gate Mixture-of-Experts (Ma et al., KDD'18).
+#ifndef MAMDR_MODELS_MMOE_H_
+#define MAMDR_MODELS_MMOE_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// Shared experts, one softmax gate + tower per domain.
+class Mmoe : public CtrModel {
+ public:
+  Mmoe(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "MMOE"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::vector<std::unique_ptr<nn::MlpBlock>> experts_;
+  std::vector<std::unique_ptr<nn::Linear>> gates_;   // per domain
+  std::vector<std::unique_ptr<nn::MlpBlock>> towers_;  // per domain
+  std::vector<std::unique_ptr<nn::Linear>> heads_;   // per domain
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_MMOE_H_

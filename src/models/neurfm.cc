@@ -1,0 +1,30 @@
+#include "models/neurfm.h"
+
+#include "nn/fm.h"
+
+namespace mamdr {
+namespace models {
+
+NeurFm::NeurFm(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  linear_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  mlp_ = std::make_unique<nn::MlpBlock>(encoder_->field_dim(), config.hidden,
+                                        rng, config.dropout);
+  head_ = std::make_unique<nn::Linear>(mlp_->out_features(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("linear", linear_.get());
+  RegisterModule("mlp", mlp_.get());
+  RegisterModule("head", head_.get());
+}
+
+Var NeurFm::Forward(const data::Batch& batch, int64_t /*domain*/,
+                    const nn::Context& ctx) {
+  std::vector<Var> fields = encoder_->Fields(batch);
+  Var bi = nn::BiInteraction(fields);
+  Var deep_logit = head_->Forward(mlp_->Forward(bi, ctx));
+  Var linear_logit = linear_->Forward(autograd::ConcatCols(fields));
+  return autograd::Add(deep_logit, linear_logit);
+}
+
+}  // namespace models
+}  // namespace mamdr

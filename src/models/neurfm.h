@@ -1,0 +1,33 @@
+// Neural Factorization Machine (He & Chua, SIGIR'17).
+#ifndef MAMDR_MODELS_NEURFM_H_
+#define MAMDR_MODELS_NEURFM_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// Bi-interaction pooling over field embeddings -> MLP -> logit, plus a
+/// linear term over the concatenated fields.
+class NeurFm : public CtrModel {
+ public:
+  NeurFm(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "NeurFM"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> linear_;
+  std::unique_ptr<nn::MlpBlock> mlp_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_NEURFM_H_

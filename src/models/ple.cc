@@ -1,0 +1,112 @@
+#include "models/ple.h"
+
+namespace mamdr {
+namespace models {
+
+CgcLayer::CgcLayer(int64_t in_dim, int64_t expert_dim,
+                   int64_t num_shared_experts, int64_t num_domains, Rng* rng,
+                   float dropout)
+    : expert_dim_(expert_dim), num_domains_(num_domains) {
+  for (int64_t e = 0; e < num_shared_experts; ++e) {
+    shared_experts_.push_back(std::make_unique<nn::MlpBlock>(
+        in_dim, std::vector<int64_t>{expert_dim}, rng, dropout));
+    RegisterModule("shared_expert" + std::to_string(e),
+                   shared_experts_.back().get());
+  }
+  const int64_t total_experts = num_shared_experts + 1;  // shared + own
+  for (int64_t d = 0; d < num_domains; ++d) {
+    domain_experts_.push_back(std::make_unique<nn::MlpBlock>(
+        in_dim, std::vector<int64_t>{expert_dim}, rng, dropout));
+    domain_gates_.push_back(
+        std::make_unique<nn::Linear>(in_dim, total_experts, rng));
+    RegisterModule("domain_expert" + std::to_string(d),
+                   domain_experts_.back().get());
+    RegisterModule("domain_gate" + std::to_string(d),
+                   domain_gates_.back().get());
+  }
+  // Shared gate mixes every expert (shared + all domains').
+  shared_gate_ = std::make_unique<nn::Linear>(
+      in_dim, num_shared_experts + num_domains, rng);
+  RegisterModule("shared_gate", shared_gate_.get());
+}
+
+CgcLayer::Output CgcLayer::Forward(const Var& shared_in,
+                                   const std::vector<Var>& domain_in,
+                                   const nn::Context& ctx) const {
+  MAMDR_CHECK_EQ(static_cast<int64_t>(domain_in.size()), num_domains_);
+  std::vector<Var> shared_out;
+  shared_out.reserve(shared_experts_.size());
+  for (const auto& e : shared_experts_) {
+    shared_out.push_back(e->Forward(shared_in, ctx));
+  }
+  std::vector<Var> domain_expert_out(domain_in.size());
+  for (size_t d = 0; d < domain_in.size(); ++d) {
+    domain_expert_out[d] = domain_experts_[d]->Forward(domain_in[d], ctx);
+  }
+
+  auto mix = [](const std::vector<Var>& experts, const Var& gate_logits) {
+    Var gate = autograd::SoftmaxRows(gate_logits);
+    Var acc;
+    for (size_t e = 0; e < experts.size(); ++e) {
+      Var w = autograd::SliceCols(gate, static_cast<int64_t>(e), 1);
+      Var term = autograd::MulColVector(experts[e], w);
+      acc = e == 0 ? term : autograd::Add(acc, term);
+    }
+    return acc;
+  };
+
+  Output out;
+  out.domain.resize(domain_in.size());
+  for (size_t d = 0; d < domain_in.size(); ++d) {
+    std::vector<Var> experts = shared_out;
+    experts.push_back(domain_expert_out[d]);
+    out.domain[d] = mix(experts, domain_gates_[d]->Forward(domain_in[d]));
+  }
+  std::vector<Var> all = shared_out;
+  for (const auto& e : domain_expert_out) all.push_back(e);
+  out.shared = mix(all, shared_gate_->Forward(shared_in));
+  return out;
+}
+
+Ple::Ple(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  RegisterModule("encoder", encoder_.get());
+  const int64_t expert_dim = config.expert_hidden.back();
+  int64_t in_dim = encoder_->concat_dim();
+  for (int64_t l = 0; l < config.ple_layers; ++l) {
+    layers_.push_back(std::make_unique<CgcLayer>(in_dim, expert_dim,
+                                                 config.num_experts,
+                                                 config.num_domains, rng,
+                                                 config.dropout));
+    RegisterModule("cgc" + std::to_string(l), layers_.back().get());
+    in_dim = expert_dim;
+  }
+  for (int64_t d = 0; d < config.num_domains; ++d) {
+    towers_.push_back(std::make_unique<nn::MlpBlock>(
+        expert_dim, config.tower_hidden, rng, config.dropout));
+    heads_.push_back(
+        std::make_unique<nn::Linear>(towers_.back()->out_features(), 1, rng));
+    RegisterModule("tower" + std::to_string(d), towers_.back().get());
+    RegisterModule("head" + std::to_string(d), heads_.back().get());
+  }
+}
+
+Var Ple::Forward(const data::Batch& batch, int64_t domain,
+                 const nn::Context& ctx) {
+  MAMDR_CHECK_GE(domain, 0);
+  MAMDR_CHECK_LT(domain, static_cast<int64_t>(towers_.size()));
+  Var x = encoder_->Concat(batch);
+  Var shared = x;
+  std::vector<Var> domains(towers_.size(), x);
+  for (const auto& layer : layers_) {
+    auto out = layer->Forward(shared, domains, ctx);
+    shared = out.shared;
+    domains = std::move(out.domain);
+  }
+  Var t = towers_[static_cast<size_t>(domain)]->Forward(
+      domains[static_cast<size_t>(domain)], ctx);
+  return heads_[static_cast<size_t>(domain)]->Forward(t);
+}
+
+}  // namespace models
+}  // namespace mamdr

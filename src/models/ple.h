@@ -1,0 +1,64 @@
+// Progressive Layered Extraction (Tang et al., RecSys'20) and its single
+// extraction layer CGC. `ple_layers=1` gives CGC, `>=2` gives PLE.
+#ifndef MAMDR_MODELS_PLE_H_
+#define MAMDR_MODELS_PLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// One Customized Gate Control layer: shared experts + per-domain experts,
+/// with per-domain gates over (shared + own) experts and a shared gate over
+/// all experts feeding the next layer.
+class CgcLayer : public nn::Module {
+ public:
+  CgcLayer(int64_t in_dim, int64_t expert_dim, int64_t num_shared_experts,
+           int64_t num_domains, Rng* rng, float dropout);
+
+  /// inputs: shared representation + one representation per domain.
+  /// Returns {new_shared, new_domain_reprs...}.
+  struct Output {
+    Var shared;
+    std::vector<Var> domain;
+  };
+  Output Forward(const Var& shared_in, const std::vector<Var>& domain_in,
+                 const nn::Context& ctx) const;
+
+  int64_t out_dim() const { return expert_dim_; }
+
+ private:
+  int64_t expert_dim_;
+  int64_t num_domains_;
+  std::vector<std::unique_ptr<nn::MlpBlock>> shared_experts_;
+  std::vector<std::unique_ptr<nn::MlpBlock>> domain_experts_;  // one per domain
+  std::vector<std::unique_ptr<nn::Linear>> domain_gates_;
+  std::unique_ptr<nn::Linear> shared_gate_;
+};
+
+/// Full PLE model: encoder -> ple_layers CGC layers -> per-domain tower.
+class Ple : public CtrModel {
+ public:
+  Ple(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override {
+    return layers_.size() == 1 ? "CGC" : "PLE";
+  }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::vector<std::unique_ptr<CgcLayer>> layers_;
+  std::vector<std::unique_ptr<nn::MlpBlock>> towers_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_PLE_H_

@@ -1,0 +1,36 @@
+#include "models/raw_model.h"
+
+#include "nn/init.h"
+
+namespace mamdr {
+namespace models {
+
+RawModel::RawModel(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  wide_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  deep_ = std::make_unique<nn::MlpBlock>(encoder_->concat_dim(), config.hidden,
+                                         rng, config.dropout);
+  head_ = std::make_unique<nn::Linear>(deep_->out_features(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("wide", wide_.get());
+  RegisterModule("deep", deep_.get());
+  RegisterModule("head", head_.get());
+  domain_bias_ = RegisterParameter("domain_bias",
+                                   nn::init::Zeros({config.num_domains, 1}));
+}
+
+Var RawModel::Forward(const data::Batch& batch, int64_t domain,
+                      const nn::Context& ctx) {
+  Var x = encoder_->Concat(batch);
+  Var logit = autograd::Add(wide_->Forward(x),
+                            head_->Forward(deep_->Forward(x, ctx)));
+  // Per-domain scalar correction via a 1-row lookup broadcast over the batch.
+  Var bias_row = autograd::EmbeddingLookup(
+      domain_bias_, std::vector<int64_t>(1, domain));  // [1,1]
+  Tensor ones({logit.value().rows(), 1}, 1.0f);
+  Var bias_full = autograd::MatMul(Var(ones), bias_row);  // [B,1]
+  return autograd::Add(logit, bias_full);
+}
+
+}  // namespace models
+}  // namespace mamdr

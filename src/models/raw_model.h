@@ -1,0 +1,35 @@
+// RAW: stand-in for "our existing recommender model used in online service"
+// (§V-F). Production CTR towers are typically wide+deep MLPs with a light
+// per-domain correction; RAW models that as MLP + wide linear + per-domain
+// logit bias.
+#ifndef MAMDR_MODELS_RAW_MODEL_H_
+#define MAMDR_MODELS_RAW_MODEL_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+class RawModel : public CtrModel {
+ public:
+  RawModel(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "RAW"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> wide_;
+  std::unique_ptr<nn::MlpBlock> deep_;
+  std::unique_ptr<nn::Linear> head_;
+  Var domain_bias_;  // [num_domains, 1]
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_RAW_MODEL_H_

@@ -1,0 +1,33 @@
+#include "models/shared_bottom.h"
+
+namespace mamdr {
+namespace models {
+
+SharedBottom::SharedBottom(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  bottom_ = std::make_unique<nn::MlpBlock>(encoder_->concat_dim(),
+                                           config.hidden, rng, config.dropout);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("bottom", bottom_.get());
+  for (int64_t d = 0; d < config.num_domains; ++d) {
+    towers_.push_back(std::make_unique<nn::MlpBlock>(
+        bottom_->out_features(), config.tower_hidden, rng, config.dropout));
+    heads_.push_back(
+        std::make_unique<nn::Linear>(towers_.back()->out_features(), 1, rng));
+    RegisterModule("tower" + std::to_string(d), towers_.back().get());
+    RegisterModule("head" + std::to_string(d), heads_.back().get());
+  }
+}
+
+Var SharedBottom::Forward(const data::Batch& batch, int64_t domain,
+                          const nn::Context& ctx) {
+  MAMDR_CHECK_GE(domain, 0);
+  MAMDR_CHECK_LT(domain, static_cast<int64_t>(towers_.size()));
+  Var x = encoder_->Concat(batch);
+  Var h = bottom_->Forward(x, ctx);
+  Var t = towers_[static_cast<size_t>(domain)]->Forward(h, ctx);
+  return heads_[static_cast<size_t>(domain)]->Forward(t);
+}
+
+}  // namespace models
+}  // namespace mamdr

@@ -1,0 +1,33 @@
+// Shared-Bottom multi-task model (Ruder, 2017) applied to MDR.
+#ifndef MAMDR_MODELS_SHARED_BOTTOM_H_
+#define MAMDR_MODELS_SHARED_BOTTOM_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// One shared bottom network, one tower head per domain.
+class SharedBottom : public CtrModel {
+ public:
+  SharedBottom(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "Shared-Bottom"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::MlpBlock> bottom_;
+  std::vector<std::unique_ptr<nn::MlpBlock>> towers_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_SHARED_BOTTOM_H_

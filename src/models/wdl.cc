@@ -1,0 +1,27 @@
+#include "models/wdl.h"
+
+namespace mamdr {
+namespace models {
+
+Wdl::Wdl(const ModelConfig& config, Rng* rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(config, rng);
+  wide_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  deep_ = std::make_unique<nn::MlpBlock>(encoder_->concat_dim(), config.hidden,
+                                         rng, config.dropout);
+  deep_head_ = std::make_unique<nn::Linear>(deep_->out_features(), 1, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("wide", wide_.get());
+  RegisterModule("deep", deep_.get());
+  RegisterModule("deep_head", deep_head_.get());
+}
+
+Var Wdl::Forward(const data::Batch& batch, int64_t /*domain*/,
+                 const nn::Context& ctx) {
+  Var x = encoder_->Concat(batch);
+  Var wide_logit = wide_->Forward(x);
+  Var deep_logit = deep_head_->Forward(deep_->Forward(x, ctx));
+  return autograd::Add(wide_logit, deep_logit);
+}
+
+}  // namespace models
+}  // namespace mamdr

@@ -1,0 +1,32 @@
+// Wide & Deep (Cheng et al., 2016).
+#ifndef MAMDR_MODELS_WDL_H_
+#define MAMDR_MODELS_WDL_H_
+
+#include <memory>
+
+#include "models/feature_encoder.h"
+#include "nn/mlp_block.h"
+
+namespace mamdr {
+namespace models {
+
+/// Wide linear part over concat(fields) + deep MLP part; logits summed.
+class Wdl : public CtrModel {
+ public:
+  Wdl(const ModelConfig& config, Rng* rng);
+
+  Var Forward(const data::Batch& batch, int64_t domain,
+              const nn::Context& ctx) override;
+  std::string name() const override { return "WDL"; }
+
+ private:
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> wide_;
+  std::unique_ptr<nn::MlpBlock> deep_;
+  std::unique_ptr<nn::Linear> deep_head_;
+};
+
+}  // namespace models
+}  // namespace mamdr
+
+#endif  // MAMDR_MODELS_WDL_H_

@@ -1,0 +1,69 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace mamdr {
+namespace nn {
+
+FieldAttention::FieldAttention(int64_t dim, int64_t heads, int64_t head_dim,
+                               Rng* rng)
+    : dim_(dim), heads_(heads), head_dim_(head_dim) {
+  for (int64_t h = 0; h < heads; ++h) {
+    wq_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    wk_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    wv_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    RegisterModule("wq" + std::to_string(h), wq_.back().get());
+    RegisterModule("wk" + std::to_string(h), wk_.back().get());
+    RegisterModule("wv" + std::to_string(h), wv_.back().get());
+  }
+  w_res_ = std::make_unique<Linear>(dim, heads * head_dim, rng, false);
+  RegisterModule("w_res", w_res_.get());
+}
+
+std::vector<Var> FieldAttention::Forward(
+    const std::vector<Var>& fields) const {
+  const size_t num_fields = fields.size();
+  MAMDR_CHECK_GE(num_fields, 1u);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Var> out(num_fields);
+  std::vector<std::vector<Var>> head_outputs(num_fields);
+
+  for (int64_t h = 0; h < heads_; ++h) {
+    std::vector<Var> q(num_fields), k(num_fields), v(num_fields);
+    for (size_t f = 0; f < num_fields; ++f) {
+      q[f] = wq_[static_cast<size_t>(h)]->Forward(fields[f]);
+      k[f] = wk_[static_cast<size_t>(h)]->Forward(fields[f]);
+      v[f] = wv_[static_cast<size_t>(h)]->Forward(fields[f]);
+    }
+    for (size_t f = 0; f < num_fields; ++f) {
+      // Attention scores of field f over every field g: [B, F].
+      std::vector<Var> scores;
+      scores.reserve(num_fields);
+      for (size_t g = 0; g < num_fields; ++g) {
+        scores.push_back(
+            autograd::MulScalar(autograd::RowwiseDot(q[f], k[g]), scale));
+      }
+      Var attn = autograd::SoftmaxRows(autograd::ConcatCols(scores));
+      // Weighted sum of values.
+      Var acc;
+      for (size_t g = 0; g < num_fields; ++g) {
+        Var w = autograd::SliceCols(attn, static_cast<int64_t>(g), 1);
+        Var term = autograd::MulColVector(v[g], w);
+        acc = g == 0 ? term : autograd::Add(acc, term);
+      }
+      head_outputs[f].push_back(acc);
+    }
+  }
+
+  for (size_t f = 0; f < num_fields; ++f) {
+    Var concat = heads_ == 1 ? head_outputs[f][0]
+                             : autograd::ConcatCols(head_outputs[f]);
+    Var res = w_res_->Forward(fields[f]);
+    out[f] = autograd::Relu(autograd::Add(concat, res));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace mamdr

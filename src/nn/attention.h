@@ -1,0 +1,39 @@
+// Multi-head field self-attention (the interacting layer of AutoInt,
+// Song et al. CIKM'19), implemented with per-field 2-D ops.
+#ifndef MAMDR_NN_ATTENTION_H_
+#define MAMDR_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace mamdr {
+namespace nn {
+
+/// One interacting layer: each field attends over all fields.
+///
+/// Input: F field embeddings, each [B, d]. Output: F vectors, each
+/// [B, heads*head_dim], computed as softmax(QK^T/sqrt(dh)) V per head with a
+/// residual projection, followed by ReLU.
+class FieldAttention : public Module {
+ public:
+  FieldAttention(int64_t dim, int64_t heads, int64_t head_dim, Rng* rng);
+
+  std::vector<Var> Forward(const std::vector<Var>& fields) const;
+
+  int64_t out_dim() const { return heads_ * head_dim_; }
+
+ private:
+  int64_t dim_;
+  int64_t heads_;
+  int64_t head_dim_;
+  // Per head: query/key/value projections [d, head_dim].
+  std::vector<std::unique_ptr<Linear>> wq_, wk_, wv_;
+  std::unique_ptr<Linear> w_res_;  // residual projection [d, heads*head_dim]
+};
+
+}  // namespace nn
+}  // namespace mamdr
+
+#endif  // MAMDR_NN_ATTENTION_H_

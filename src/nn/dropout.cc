@@ -1,0 +1,16 @@
+#include "nn/dropout.h"
+
+namespace mamdr {
+namespace nn {
+
+Dropout::Dropout(float p) : p_(p) {
+  MAMDR_CHECK_GE(p, 0.0f);
+  MAMDR_CHECK_LT(p, 1.0f);
+}
+
+Var Dropout::Forward(const Var& x, const Context& ctx) const {
+  return autograd::Dropout(x, p_, ctx.rng, ctx.training);
+}
+
+}  // namespace nn
+}  // namespace mamdr

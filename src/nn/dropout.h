@@ -1,0 +1,26 @@
+// Dropout as a module (stateless wrapper over autograd::Dropout).
+#ifndef MAMDR_NN_DROPOUT_H_
+#define MAMDR_NN_DROPOUT_H_
+
+#include "nn/module.h"
+
+namespace mamdr {
+namespace nn {
+
+/// Inverted dropout with rate p; identity in eval mode.
+class Dropout : public Module {
+ public:
+  explicit Dropout(float p);
+
+  Var Forward(const Var& x, const Context& ctx) const;
+
+  float rate() const { return p_; }
+
+ private:
+  float p_;
+};
+
+}  // namespace nn
+}  // namespace mamdr
+
+#endif  // MAMDR_NN_DROPOUT_H_

@@ -1,0 +1,23 @@
+#include "nn/fm.h"
+
+namespace mamdr {
+namespace nn {
+
+Var BiInteraction(const std::vector<Var>& fields) {
+  MAMDR_CHECK_GE(fields.size(), 2u);
+  Var sum = fields[0];
+  Var sum_sq = autograd::Square(fields[0]);
+  for (size_t f = 1; f < fields.size(); ++f) {
+    sum = autograd::Add(sum, fields[f]);
+    sum_sq = autograd::Add(sum_sq, autograd::Square(fields[f]));
+  }
+  Var sq_sum = autograd::Square(sum);
+  return autograd::MulScalar(autograd::Sub(sq_sum, sum_sq), 0.5f);
+}
+
+Var FmSecondOrder(const std::vector<Var>& fields) {
+  return autograd::SumCols(BiInteraction(fields));
+}
+
+}  // namespace nn
+}  // namespace mamdr

@@ -1,0 +1,22 @@
+// Factorization-machine style field interactions (DeepFM, NeurFM).
+#ifndef MAMDR_NN_FM_H_
+#define MAMDR_NN_FM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mamdr {
+namespace nn {
+
+/// Bi-interaction pooling over field embeddings (He & Chua, SIGIR'17):
+///   0.5 * ((Σ_f e_f)^2 − Σ_f e_f^2),  elementwise -> [B, d].
+Var BiInteraction(const std::vector<Var>& fields);
+
+/// FM second-order score: sum over dims of BiInteraction -> [B, 1].
+Var FmSecondOrder(const std::vector<Var>& fields);
+
+}  // namespace nn
+}  // namespace mamdr
+
+#endif  // MAMDR_NN_FM_H_

@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace mamdr {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias) {
+  weight_ = RegisterParameter(
+      "weight", init::XavierUniform(in_features, out_features, rng));
+  if (use_bias_) {
+    bias_ = RegisterParameter("bias", init::Zeros({1, out_features}));
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = autograd::MatMul(x, weight_);
+  if (use_bias_) y = autograd::AddRowVector(y, bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace mamdr

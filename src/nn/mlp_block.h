@@ -1,0 +1,34 @@
+// Stack of Linear+ReLU(+Dropout) layers — the deep part of every CTR model.
+#ifndef MAMDR_NN_MLP_BLOCK_H_
+#define MAMDR_NN_MLP_BLOCK_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace mamdr {
+namespace nn {
+
+/// hidden=[h1,h2,...]: in -> h1 -> ... -> hk, ReLU between layers.
+/// `final_activation=false` leaves the last layer linear (logit head).
+class MlpBlock : public Module {
+ public:
+  MlpBlock(int64_t in_features, const std::vector<int64_t>& hidden, Rng* rng,
+           float dropout = 0.0f, bool final_activation = true);
+
+  Var Forward(const Var& x, const Context& ctx) const;
+
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  float dropout_;
+  bool final_activation_;
+  int64_t out_features_;
+};
+
+}  // namespace nn
+}  // namespace mamdr
+
+#endif  // MAMDR_NN_MLP_BLOCK_H_

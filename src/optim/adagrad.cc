@@ -1,0 +1,35 @@
+#include "optim/adagrad.h"
+
+#include <cmath>
+
+namespace mamdr {
+namespace optim {
+
+Adagrad::Adagrad(std::vector<Var> params, float lr, float eps)
+    : Optimizer(std::move(params), lr), eps_(eps) {}
+
+void Adagrad::Step() {
+  if (accum_.empty()) {
+    accum_.reserve(params_.size());
+    for (const auto& p : params_) accum_.emplace_back(p.value().shape());
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& acc = accum_[i];
+    float* pa = acc.data();
+    const float* pg = g.data();
+    float* pw = p.mutable_value().data();
+    const int64_t n = g.size();
+    for (int64_t j = 0; j < n; ++j) {
+      pa[j] += pg[j] * pg[j];
+      pw[j] -= lr_ * pg[j] / (std::sqrt(pa[j]) + eps_);
+    }
+  }
+}
+
+void Adagrad::Reset() { accum_.clear(); }
+
+}  // namespace optim
+}  // namespace mamdr

@@ -1,0 +1,55 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace mamdr {
+namespace optim {
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step() {
+  if (m_.empty()) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+      m_.emplace_back(p.value().shape());
+      v_.emplace_back(p.value().shape());
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    float* pm = m.data();
+    float* pv = v.data();
+    const float* pg = g.data();
+    float* pw = p.mutable_value().data();
+    const int64_t n = g.size();
+    for (int64_t j = 0; j < n; ++j) {
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * pg[j];
+      pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * pg[j] * pg[j];
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::Reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace optim
+}  // namespace mamdr

@@ -1,0 +1,19 @@
+#include "optim/optimizer.h"
+
+namespace mamdr {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    MAMDR_CHECK(p.defined());
+    MAMDR_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+}  // namespace optim
+}  // namespace mamdr

@@ -1,0 +1,143 @@
+#include "ps/distributed_mamdr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "metrics/auc.h"
+#include "models/registry.h"
+#include "optim/param_snapshot.h"
+
+namespace mamdr {
+namespace ps {
+
+DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
+                                   const data::MultiDomainDataset* dataset,
+                                   DistributedConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  MAMDR_CHECK_GT(config_.num_workers, 0);
+  // More workers than domains would idle; clamp so worker ids stay dense.
+  config_.num_workers =
+      std::min<int64_t>(config_.num_workers, dataset_->num_domains());
+  // Reference replica defines the layout and initial PS values. All workers
+  // use the same seed so every replica starts identical to the PS.
+  Rng ref_rng(model_config.seed);
+  auto ref = models::CreateModel(config_.model_name, model_config, &ref_rng);
+  MAMDR_CHECK(ref.ok()) << ref.status().ToString();
+  reference_model_ = std::move(ref).value();
+  reference_params_ = reference_model_->Parameters();
+
+  std::vector<bool> is_embedding;
+  RowExtractor extractor = MakeDefaultRowExtractor(
+      reference_model_.get(), model_config, &is_embedding);
+  server_ = std::make_unique<ParameterServer>(
+      optim::Snapshot(reference_params_), is_embedding);
+
+  // Greedy balance: largest domain to the currently lightest worker.
+  owner_.assign(static_cast<size_t>(dataset_->num_domains()), 0);
+  std::vector<int64_t> load(static_cast<size_t>(config_.num_workers), 0);
+  std::vector<int64_t> domains(static_cast<size_t>(dataset_->num_domains()));
+  std::iota(domains.begin(), domains.end(), 0);
+  std::sort(domains.begin(), domains.end(), [&](int64_t a, int64_t b) {
+    return dataset_->domain(a).train.size() > dataset_->domain(b).train.size();
+  });
+  std::vector<std::vector<int64_t>> assignment(
+      static_cast<size_t>(config_.num_workers));
+  for (int64_t d : domains) {
+    const size_t w = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[w].push_back(d);
+    owner_[static_cast<size_t>(d)] = static_cast<int64_t>(w);
+    load[w] += static_cast<int64_t>(dataset_->domain(d).train.size());
+  }
+
+  for (int64_t w = 0; w < config_.num_workers; ++w) {
+    Rng wrng(model_config.seed);  // identical init across replicas
+    auto m = models::CreateModel(config_.model_name, model_config, &wrng);
+    MAMDR_CHECK(m.ok()) << m.status().ToString();
+    WorkerConfig wc;
+    wc.domains = assignment[static_cast<size_t>(w)];
+    wc.train = config_.train;
+    wc.use_embedding_cache = config_.use_embedding_cache;
+    wc.run_dr = config_.run_dr;
+    RowExtractor wx = MakeDefaultRowExtractor(m.value().get(), model_config,
+                                              nullptr);
+    workers_.push_back(std::make_unique<Worker>(w, std::move(m).value(),
+                                                server_.get(), dataset_, wc,
+                                                std::move(wx)));
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max<int64_t>(
+          1, std::min<int64_t>(config_.num_workers,
+                               static_cast<int64_t>(
+                                   std::thread::hardware_concurrency()) +
+                                   1))));
+}
+
+DistributedMamdr::~DistributedMamdr() = default;
+
+void DistributedMamdr::TrainEpoch() {
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    pool_->Submit([wp] { wp->RunDnEpoch(); });
+  }
+  pool_->Wait();  // epoch barrier (Parallelized SGD style)
+  if (config_.run_dr) {
+    for (auto& w : workers_) {
+      Worker* wp = w.get();
+      pool_->Submit([wp] { wp->RunDrPhase(); });
+    }
+    pool_->Wait();
+  }
+}
+
+void DistributedMamdr::Train() {
+  if (config_.async_epochs) {
+    // Barrier-free: each worker runs its full schedule; pulls observe
+    // whatever mixture of other workers' pushes the PS holds at that
+    // moment.
+    const int64_t epochs = config_.train.epochs;
+    const bool run_dr = config_.run_dr;
+    for (auto& w : workers_) {
+      Worker* wp = w.get();
+      pool_->Submit([wp, epochs, run_dr] {
+        for (int64_t e = 0; e < epochs; ++e) {
+          wp->RunDnEpoch();
+          if (run_dr) wp->RunDrPhase();
+        }
+      });
+    }
+    pool_->Wait();
+    return;
+  }
+  for (int64_t e = 0; e < config_.train.epochs; ++e) TrainEpoch();
+}
+
+std::vector<double> DistributedMamdr::EvaluateTest() {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(dataset_->num_domains()));
+  // Without DR: score with the PS parameters through the reference replica.
+  optim::Restore(reference_params_, server_->SnapshotAll());
+  for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
+    data::Batch batch = data::Batcher::All(dataset_->domain(d).test);
+    std::vector<float> scores;
+    if (config_.run_dr) {
+      Worker* owner = workers_[static_cast<size_t>(OwnerOf(d))].get();
+      owner->specific_store()->InstallComposite(d);
+      scores = owner->model()->Score(batch, d);
+    } else {
+      scores = reference_model_->Score(batch, d);
+    }
+    out.push_back(metrics::Auc(scores, batch.labels));
+  }
+  return out;
+}
+
+double DistributedMamdr::AverageTestAuc() {
+  const auto aucs = EvaluateTest();
+  double sum = 0.0;
+  for (double a : aucs) sum += a;
+  return sum / static_cast<double>(aucs.size());
+}
+
+}  // namespace ps
+}  // namespace mamdr

@@ -1,0 +1,76 @@
+// Orchestrates the PS-Worker simulation of MAMDR's large-scale
+// implementation (§IV-E): one parameter server, m workers, domains
+// partitioned across workers by a greedy size-balancing assignment.
+#ifndef MAMDR_PS_DISTRIBUTED_MAMDR_H_
+#define MAMDR_PS_DISTRIBUTED_MAMDR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ps/worker.h"
+
+namespace mamdr {
+namespace ps {
+
+struct DistributedConfig {
+  int64_t num_workers = 4;
+  core::TrainConfig train;
+  bool use_embedding_cache = true;
+  /// Run per-worker DR for owned domains after every DN epoch.
+  bool run_dr = false;
+  /// Asynchronous mode: workers run their whole epoch schedule without a
+  /// global barrier (how the production PS deployment operates). Each
+  /// worker's pull may observe other workers' partial pushes — the
+  /// staleness the dynamic cache's pull-latest-on-miss policy bounds.
+  /// Synchronous mode (default) barriers after every epoch
+  /// (Parallelized-SGD style).
+  bool async_epochs = false;
+  std::string model_name = "MLP";
+};
+
+class DistributedMamdr {
+ public:
+  DistributedMamdr(const models::ModelConfig& model_config,
+                   const data::MultiDomainDataset* dataset,
+                   DistributedConfig config);
+  ~DistributedMamdr();
+
+  /// One outer epoch: all workers run the DN inner loop concurrently and
+  /// push (steps 1-5 of Fig. 6); then, if enabled, the DR phase.
+  void TrainEpoch();
+
+  /// config.train.epochs epochs. With async_epochs, every worker runs all
+  /// its epochs in one barrier-free task.
+  void Train();
+
+  /// Per-domain test AUC. Uses each domain's owner worker (with its specific
+  /// parameters when run_dr), otherwise a reference replica restored from
+  /// the PS.
+  std::vector<double> EvaluateTest();
+  double AverageTestAuc();
+
+  ParameterServer* server() { return server_.get(); }
+  Worker* worker(int64_t i) { return workers_[static_cast<size_t>(i)].get(); }
+  int64_t num_workers() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+  int64_t OwnerOf(int64_t domain) const {
+    return owner_[static_cast<size_t>(domain)];
+  }
+
+ private:
+  const data::MultiDomainDataset* dataset_;
+  DistributedConfig config_;
+  std::unique_ptr<models::CtrModel> reference_model_;
+  std::vector<autograd::Var> reference_params_;
+  std::unique_ptr<ParameterServer> server_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<int64_t> owner_;  // domain -> worker id
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_DISTRIBUTED_MAMDR_H_

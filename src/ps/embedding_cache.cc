@@ -1,0 +1,34 @@
+#include "ps/embedding_cache.h"
+
+#include <algorithm>
+
+namespace mamdr {
+namespace ps {
+
+std::vector<int64_t> EmbeddingCache::TouchAndGetMisses(
+    const std::vector<int64_t>& rows) {
+  std::vector<int64_t> misses;
+  for (int64_t r : rows) {
+    if (cached_.insert(r).second) {
+      misses.push_back(r);
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+    }
+  }
+  // Deduplicate (rows may repeat within a batch).
+  std::sort(misses.begin(), misses.end());
+  misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
+  return misses;
+}
+
+std::vector<int64_t> EmbeddingCache::CachedRows() const {
+  std::vector<int64_t> out(cached_.begin(), cached_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void EmbeddingCache::Clear() { cached_.clear(); }
+
+}  // namespace ps
+}  // namespace mamdr

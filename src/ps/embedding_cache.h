@@ -1,0 +1,48 @@
+// Embedding PS-Worker cache (§IV-E, Fig. 7).
+//
+// Per worker and per embedding table, tracks which rows live in the
+// dynamic-cache. On lookup, rows already cached are served locally (the
+// worker's own table holds the latest local value); missing rows are pulled
+// fresh from the PS — "query the latest embedding on demand" — and then
+// cached. Clear() empties the cache between outer epochs.
+#ifndef MAMDR_PS_EMBEDDING_CACHE_H_
+#define MAMDR_PS_EMBEDDING_CACHE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace mamdr {
+namespace ps {
+
+class EmbeddingCache {
+ public:
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Partition `rows` into already-cached (hits) and missing; missing rows
+  /// are inserted (the caller is expected to pull them). Returns the missing
+  /// rows, deduplicated.
+  std::vector<int64_t> TouchAndGetMisses(const std::vector<int64_t>& rows);
+
+  /// All rows currently cached (the rows whose deltas must be pushed).
+  std::vector<int64_t> CachedRows() const;
+
+  bool Contains(int64_t row) const { return cached_.count(row) > 0; }
+  int64_t size() const { return static_cast<int64_t>(cached_.size()); }
+
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_set<int64_t> cached_;
+  CacheStats stats_;
+};
+
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_EMBEDDING_CACHE_H_

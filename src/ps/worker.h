@@ -1,0 +1,91 @@
+// A training worker in the PS-Worker simulation (Fig. 6 steps 1-4).
+//
+// Each worker owns a full model replica and a subset of the domains. Per
+// outer epoch it: pulls dense parameters from the PS into its static cache,
+// runs the DN inner loop over its domains (pulling embedding rows on demand
+// through the dynamic cache), and pushes the meta-delta Θ̃ − Θ back to the
+// PS, which applies Eq. 3.
+//
+// With `use_embedding_cache=false` the worker instead pulls every batch's
+// embedding rows fresh from the PS and pushes their gradients back after
+// every step — the synchronous baseline whose traffic the cache mechanism
+// (Fig. 7) is designed to eliminate.
+#ifndef MAMDR_PS_WORKER_H_
+#define MAMDR_PS_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/domain_regularization.h"
+#include "core/framework.h"
+#include "models/ctr_model.h"
+#include "ps/embedding_cache.h"
+#include "ps/parameter_server.h"
+
+namespace mamdr {
+namespace ps {
+
+/// Which rows of which embedding parameters a batch touches.
+struct TouchedRows {
+  int64_t param_index = 0;
+  std::vector<int64_t> rows;
+};
+
+/// Extracts touched embedding rows from a batch. The default extractor (see
+/// MakeDefaultRowExtractor) understands the FeatureEncoder field layout.
+using RowExtractor =
+    std::function<std::vector<TouchedRows>(const data::Batch&)>;
+
+/// Row extractor for models built on models::FeatureEncoder, resolving the
+/// four embedding tables by parameter name.
+RowExtractor MakeDefaultRowExtractor(models::CtrModel* model,
+                                     const models::ModelConfig& config,
+                                     std::vector<bool>* is_embedding_out);
+
+struct WorkerConfig {
+  std::vector<int64_t> domains;  // owned domain ids
+  core::TrainConfig train;
+  bool use_embedding_cache = true;
+  bool run_dr = false;  // run the DR phase for owned domains after DN
+};
+
+class Worker {
+ public:
+  Worker(int64_t id, std::unique_ptr<models::CtrModel> model,
+         ParameterServer* server, const data::MultiDomainDataset* dataset,
+         WorkerConfig config, RowExtractor extractor);
+  ~Worker();
+
+  /// One outer epoch: pull -> DN inner loop over owned domains -> push.
+  void RunDnEpoch();
+
+  /// DR phase for owned domains (requires run_dr; uses the latest θS).
+  void RunDrPhase();
+
+  models::CtrModel* model() { return model_.get(); }
+  const EmbeddingCache& cache(int64_t param_index) const;
+  core::SharedSpecificStore* specific_store() { return store_.get(); }
+  int64_t id() const { return id_; }
+
+ private:
+  void EnsureRowsFresh(const data::Batch& batch);
+  void PushBatchEmbeddingGrads(const data::Batch& batch);
+
+  int64_t id_;
+  std::unique_ptr<models::CtrModel> model_;
+  ParameterServer* server_;
+  const data::MultiDomainDataset* dataset_;
+  WorkerConfig config_;
+  RowExtractor extractor_;
+  std::vector<autograd::Var> params_;
+  std::vector<EmbeddingCache> caches_;     // one per parameter index
+  std::vector<Tensor> static_cache_;       // Θ at pull time (per parameter)
+  std::unique_ptr<core::SharedSpecificStore> store_;  // θi for owned domains
+  std::unique_ptr<core::DomainRegularization> dr_;
+  Rng rng_;
+};
+
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_WORKER_H_

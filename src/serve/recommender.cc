@@ -1,0 +1,111 @@
+#include "serve/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace serve {
+
+Recommender::Recommender(models::CtrModel* model, metrics::ScoreFn scorer)
+    : model_(model), scorer_(std::move(scorer)) {
+  MAMDR_CHECK(model != nullptr);
+}
+
+void Recommender::SetCandidates(int64_t domain, std::vector<int64_t> items) {
+  candidates_[domain] = std::move(items);
+}
+
+const std::vector<int64_t>& Recommender::candidates(int64_t domain) const {
+  auto it = candidates_.find(domain);
+  return it == candidates_.end() ? empty_ : it->second;
+}
+
+std::vector<RankedItem> Recommender::Rank(
+    int64_t user, int64_t domain, const std::vector<int64_t>& items) const {
+  data::Batch batch;
+  batch.users.assign(items.size(), user);
+  batch.items = items;
+  batch.labels.assign(items.size(), 0.0f);
+  std::vector<float> scores = scorer_ ? scorer_(batch, domain)
+                                      : model_->Score(batch, domain);
+  MAMDR_CHECK_EQ(scores.size(), items.size());
+  std::vector<RankedItem> ranked(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ranked[i] = {items[i], scores[i]};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedItem& a, const RankedItem& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.item < b.item);
+            });
+  return ranked;
+}
+
+std::vector<RankedItem> Recommender::TopK(int64_t user, int64_t domain,
+                                          int64_t k) const {
+  const auto& pool = candidates(domain);
+  std::vector<RankedItem> ranked = Rank(user, domain, pool);
+  if (static_cast<int64_t>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+TopKReport EvaluateTopK(const Recommender& rec,
+                        const data::MultiDomainDataset& ds, int64_t domain,
+                        int64_t k, int64_t num_negatives, Rng* rng) {
+  MAMDR_CHECK(rng != nullptr);
+  const auto& d = ds.domain(domain);
+  // Per-user interacted items (any split) must not be sampled as negatives.
+  std::unordered_set<uint64_t> interacted;
+  auto key = [](int64_t u, int64_t v) {
+    return (static_cast<uint64_t>(u) << 26) ^ static_cast<uint64_t>(v);
+  };
+  for (const auto* split : {&d.train, &d.val, &d.test}) {
+    for (const auto& it : *split) {
+      if (it.label > 0.5f) interacted.insert(key(it.user, it.item));
+    }
+  }
+
+  TopKReport report;
+  double hits = 0.0, ndcg = 0.0;
+  for (const auto& it : d.test) {
+    if (it.label < 0.5f) continue;
+    std::vector<int64_t> cands{it.item};
+    int64_t attempts = 0;
+    while (static_cast<int64_t>(cands.size()) < num_negatives + 1 &&
+           attempts < num_negatives * 50) {
+      ++attempts;
+      const int64_t v =
+          static_cast<int64_t>(rng->UniformInt(
+              static_cast<uint64_t>(ds.num_items())));
+      if (interacted.count(key(it.user, v)) > 0) continue;
+      cands.push_back(v);
+    }
+    const auto ranked = rec.Rank(it.user, domain, cands);
+    int64_t pos = -1;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (ranked[i].item == it.item) {
+        pos = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    MAMDR_CHECK_GE(pos, 0);
+    ++report.num_cases;
+    if (pos < k) {
+      hits += 1.0;
+      ndcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  if (report.num_cases > 0) {
+    report.hit_rate = hits / static_cast<double>(report.num_cases);
+    report.ndcg = ndcg / static_cast<double>(report.num_cases);
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace mamdr

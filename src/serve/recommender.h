@@ -1,0 +1,71 @@
+// Top-K item ranking on top of a trained CTR model — the serving-side API
+// of the MDR platform (Fig. 2's "provide services for thousands of
+// domains").
+#ifndef MAMDR_SERVE_RECOMMENDER_H_
+#define MAMDR_SERVE_RECOMMENDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/evaluator.h"
+#include "models/ctr_model.h"
+
+namespace mamdr {
+namespace serve {
+
+struct RankedItem {
+  int64_t item = 0;
+  float score = 0.0f;
+};
+
+/// Ranks candidate items for a (user, domain) pair.
+///
+/// By default scores come from the model directly; pass the owning
+/// framework's Scorer() (e.g. Mamdr::Scorer()) to serve with Θ = θS + θi
+/// per domain.
+class Recommender {
+ public:
+  explicit Recommender(models::CtrModel* model,
+                       metrics::ScoreFn scorer = nullptr);
+
+  /// Register the serving candidate pool of a domain (typically the items
+  /// appearing in that domain's interactions).
+  void SetCandidates(int64_t domain, std::vector<int64_t> items);
+
+  /// Candidates registered for a domain (empty vector if none).
+  const std::vector<int64_t>& candidates(int64_t domain) const;
+
+  /// Score all candidates of the domain for the user and return the top k,
+  /// highest score first. k is clamped to the candidate count.
+  std::vector<RankedItem> TopK(int64_t user, int64_t domain,
+                               int64_t k) const;
+
+  /// Score an explicit candidate list (used by offline evaluation).
+  std::vector<RankedItem> Rank(int64_t user, int64_t domain,
+                               const std::vector<int64_t>& items) const;
+
+ private:
+  models::CtrModel* model_;
+  metrics::ScoreFn scorer_;
+  std::unordered_map<int64_t, std::vector<int64_t>> candidates_;
+  std::vector<int64_t> empty_;
+};
+
+/// Offline top-K quality on a domain's test positives, with the standard
+/// sampled-negatives protocol: each positive (u, v) is ranked against
+/// `num_negatives` random un-interacted items; HitRate@K counts v in the
+/// top K, NDCG@K discounts by rank position.
+struct TopKReport {
+  double hit_rate = 0.0;
+  double ndcg = 0.0;
+  int64_t num_cases = 0;
+};
+
+TopKReport EvaluateTopK(const Recommender& rec,
+                        const data::MultiDomainDataset& ds, int64_t domain,
+                        int64_t k, int64_t num_negatives, Rng* rng);
+
+}  // namespace serve
+}  // namespace mamdr
+
+#endif  // MAMDR_SERVE_RECOMMENDER_H_

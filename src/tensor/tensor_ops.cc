@@ -1,0 +1,221 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace mamdr {
+namespace ops {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK(a.shape() == b.shape())
+      << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  MAMDR_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  MAMDR_CHECK_EQ(k, b.rows());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through B and C rows, cache friendly.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  MAMDR_CHECK_EQ(b.rank(), 2);
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  MAMDR_CHECK_EQ(k, b.rows());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  MAMDR_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  MAMDR_CHECK_EQ(k, b.cols());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor t({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + b.at(i);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) - b.at(i);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) * b.at(i);
+  return out;
+}
+
+Tensor Axpy(const Tensor& a, const Tensor& b, float alpha) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + alpha * b.at(i);
+  return out;
+}
+
+void AxpyInPlace(Tensor* y, const Tensor& x, float alpha) {
+  CheckSameShape(*y, x);
+  float* py = y->data();
+  const float* px = x.data();
+  const int64_t n = y->size();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void ScaleInPlace(Tensor* y, float alpha) {
+  float* py = y->data();
+  const int64_t n = y->size();
+  for (int64_t i = 0; i < n; ++i) py[i] *= alpha;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) * s;
+  return out;
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& row) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  MAMDR_CHECK_EQ(row.size(), n);
+  Tensor out(a.shape());
+  const float* pr = row.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) + pr[j];
+  }
+  return out;
+}
+
+Tensor MulColVector(const Tensor& a, const Tensor& col) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.rows(), n = a.cols();
+  MAMDR_CHECK_EQ(col.size(), m);
+  Tensor out(a.shape());
+  const float* pc = col.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) * pc[i];
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  Tensor out({1, a.cols()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) out.at(0, j) += a.at(i, j);
+  }
+  return out;
+}
+
+Tensor SumCols(const Tensor& a) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  Tensor out({a.rows(), 1});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < a.cols(); ++j) acc += a.at(i, j);
+    out.at(i, 0) = acc;
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a.at(i);
+  return static_cast<float>(acc);
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += double(pa[i]) * double(pb[i]);
+  return static_cast<float>(acc);
+}
+
+float SquaredNorm(const Tensor& a) { return Dot(a, a); }
+
+float MaxAbs(const Tensor& a) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a.at(i)));
+  return m;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.at(i) - b.at(i)) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace mamdr

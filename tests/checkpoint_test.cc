@@ -1,0 +1,132 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint.h"
+#include "core/mamdr.h"
+#include "models/registry.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace checkpoint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("mamdr_ckpt_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, TensorRoundTrip) {
+  std::vector<std::pair<std::string, Tensor>> named{
+      {"a", Tensor::FromVector({1, 2, 3})},
+      {"b", Tensor::FromMatrix({{4, 5}, {6, 7}})},
+  };
+  ASSERT_TRUE(SaveTensors(named, path_).ok());
+  auto loaded = LoadTensors(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].first, "a");
+  EXPECT_TRUE(ops::AllClose(loaded.value()[0].second, named[0].second));
+  EXPECT_EQ(loaded.value()[1].second.rows(), 2);
+  EXPECT_TRUE(ops::AllClose(loaded.value()[1].second, named[1].second));
+}
+
+TEST_F(CheckpointTest, LoadMissingFileFails) {
+  auto loaded = LoadTensors(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  auto loaded = LoadTensors(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, ModuleRoundTripRestoresScores) {
+  auto ds = mamdr::testing::TinyDataset();
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng1(5);
+  auto model = models::CreateModel("MLP", mc, &rng1).value();
+  data::Batch batch = data::Batcher::All(ds.domain(0).test);
+  const auto scores_before = model->Score(batch, 0);
+  ASSERT_TRUE(SaveModule(*model, path_).ok());
+
+  // A differently-initialized replica scores differently...
+  Rng rng2(999);
+  auto replica = models::CreateModel("MLP", mc, &rng2).value();
+  const auto replica_scores = replica->Score(batch, 0);
+  bool differs = false;
+  for (size_t i = 0; i < scores_before.size(); ++i) {
+    if (scores_before[i] != replica_scores[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+
+  // ...until the checkpoint is restored.
+  ASSERT_TRUE(LoadModule(replica.get(), path_).ok());
+  const auto restored = replica->Score(batch, 0);
+  for (size_t i = 0; i < scores_before.size(); ++i) {
+    EXPECT_FLOAT_EQ(scores_before[i], restored[i]);
+  }
+}
+
+TEST_F(CheckpointTest, LoadModuleRejectsWrongArchitecture) {
+  auto ds = mamdr::testing::TinyDataset();
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(5);
+  auto mlp = models::CreateModel("MLP", mc, &rng).value();
+  ASSERT_TRUE(SaveModule(*mlp, path_).ok());
+  auto wdl = models::CreateModel("WDL", mc, &rng).value();
+  auto status = LoadModule(wdl.get(), path_);
+  EXPECT_FALSE(status.ok());  // WDL has params the MLP checkpoint lacks
+}
+
+TEST_F(CheckpointTest, StoreRoundTrip) {
+  auto ds = mamdr::testing::TinyDataset(2, 120, 5);
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(5);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.dr_sample_k = 1;
+  tc.dr_max_batches = 1;
+  core::Mamdr mamdr(model.get(), &ds, tc);
+  mamdr.Train();
+  ASSERT_TRUE(SaveStore(*mamdr.store(), path_).ok());
+
+  // Fresh store starts at zero specific params; restore brings them back.
+  core::SharedSpecificStore fresh(model->Parameters(), ds.num_domains());
+  ASSERT_TRUE(LoadStore(&fresh, path_).ok());
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    const auto& a = mamdr.store()->specific(d);
+    const auto& b = fresh.specific(d);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(ops::AllClose(a[i], b[i]));
+    }
+  }
+  for (size_t i = 0; i < fresh.shared().size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(fresh.shared()[i], mamdr.store()->shared()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace checkpoint
+}  // namespace mamdr

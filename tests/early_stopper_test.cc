@@ -1,0 +1,103 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/early_stopper.h"
+#include "metrics/logloss.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace core {
+namespace {
+
+/// Tiny module whose single parameter we can poke from the test.
+class OneParam : public nn::Module {
+ public:
+  OneParam() { p_ = RegisterParameter("p", Tensor({1})); }
+  autograd::Var p_;
+};
+
+TEST(EarlyStopperTest, StopsAfterPatienceExhausted) {
+  OneParam m;
+  EarlyStopper stopper(2);
+  EXPECT_TRUE(stopper.Observe(0.6, m));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Observe(0.59, m));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Observe(0.58, m));
+  EXPECT_TRUE(stopper.ShouldStop());
+  EXPECT_DOUBLE_EQ(stopper.best_metric(), 0.6);
+  EXPECT_EQ(stopper.best_epoch(), 1);
+}
+
+TEST(EarlyStopperTest, ImprovementResetsStreak) {
+  OneParam m;
+  EarlyStopper stopper(2);
+  stopper.Observe(0.5, m);
+  stopper.Observe(0.4, m);   // bad 1
+  stopper.Observe(0.55, m);  // improvement
+  stopper.Observe(0.5, m);   // bad 1
+  EXPECT_FALSE(stopper.ShouldStop());
+  stopper.Observe(0.5, m);  // bad 2
+  EXPECT_TRUE(stopper.ShouldStop());
+}
+
+TEST(EarlyStopperTest, RestoreBestBringsBackSnapshot) {
+  OneParam m;
+  EarlyStopper stopper(3);
+  m.p_.mutable_value().at(0) = 1.0f;
+  stopper.Observe(0.7, m);  // best snapshot has p=1
+  m.p_.mutable_value().at(0) = 2.0f;
+  stopper.Observe(0.6, m);  // worse; snapshot unchanged
+  m.p_.mutable_value().at(0) = 3.0f;
+  stopper.RestoreBest(&m);
+  EXPECT_FLOAT_EQ(m.p_.value().at(0), 1.0f);
+}
+
+TEST(EarlyStopperTest, MinDeltaFiltersTinyGains) {
+  OneParam m;
+  EarlyStopper stopper(1, /*min_delta=*/0.01);
+  stopper.Observe(0.5, m);
+  EXPECT_FALSE(stopper.Observe(0.505, m));  // below min_delta
+  EXPECT_TRUE(stopper.ShouldStop());
+}
+
+TEST(EarlyStopperTest, RestoreWithoutObservationsIsNoop) {
+  OneParam m;
+  m.p_.mutable_value().at(0) = 5.0f;
+  EarlyStopper stopper(1);
+  stopper.RestoreBest(&m);
+  EXPECT_FLOAT_EQ(m.p_.value().at(0), 5.0f);
+}
+
+}  // namespace
+}  // namespace core
+
+namespace metrics {
+namespace {
+
+TEST(LogLossTest, PerfectPredictionsNearZero) {
+  EXPECT_NEAR(LogLoss({0.9999f, 0.0001f}, {1, 0}), 0.0, 1e-3);
+}
+
+TEST(LogLossTest, HalfProbabilityIsLog2) {
+  EXPECT_NEAR(LogLoss({0.5f, 0.5f}, {1, 0}), std::log(2.0), 1e-6);
+}
+
+TEST(LogLossTest, ConfidentlyWrongIsLarge) {
+  EXPECT_GT(LogLoss({0.001f}, {1}), 6.0);
+}
+
+TEST(LogLossTest, ClampsExtremes) {
+  // p=0 with y=1 would be infinite; the clamp keeps it finite.
+  const double ll = LogLoss({0.0f}, {1});
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_GT(ll, 10.0);
+}
+
+TEST(LogLossTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(LogLoss({}, {}), 0.0); }
+
+}  // namespace
+}  // namespace metrics
+}  // namespace mamdr

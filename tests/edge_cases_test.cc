@@ -1,0 +1,158 @@
+// Edge-case coverage across modules.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "core/mamdr.h"
+#include "data/batch.h"
+#include "metrics/auc.h"
+#include "models/registry.h"
+#include "optim/adagrad.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace {
+
+TEST(AutogradEdgeTest, InteriorNodesAreFreedAfterBackward) {
+  autograd::Var w(Tensor({4, 4}, 0.5f), true);
+  std::weak_ptr<autograd::Node> interior;
+  {
+    autograd::Var x(Tensor({2, 4}, 1.0f));
+    autograd::Var h = autograd::Relu(autograd::MatMul(x, w));
+    interior = h.node();
+    autograd::Sum(h).Backward();
+    EXPECT_FALSE(interior.expired());
+  }
+  // Handles gone -> the graph including interior nodes must be destroyed.
+  EXPECT_TRUE(interior.expired());
+}
+
+TEST(AutogradEdgeTest, EvalForwardBetweenTrainingStepsIsHarmless) {
+  autograd::Var w(Tensor::FromVector({2.0f}), true);
+  auto loss = [&] { return autograd::Sum(autograd::Square(w)); };
+  w.ZeroGrad();
+  loss().Backward();
+  const float g1 = w.grad().at(0);
+  {
+    autograd::NoGradGuard ng;
+    (void)loss();  // eval pass must not touch gradients
+  }
+  EXPECT_FLOAT_EQ(w.grad().at(0), g1);
+}
+
+TEST(AutogradEdgeTest, SingleElementSoftmaxIsOne) {
+  autograd::Var x(Tensor({3, 1}, 2.0f), true);
+  autograd::Var s = autograd::SoftmaxRows(x);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(s.value().at(i, 0), 1.0f);
+}
+
+TEST(OptimEdgeTest, AdagradStepsShrinkMonotonically) {
+  autograd::Var x(Tensor::FromVector({100.0f}), true);
+  optim::Adagrad opt({x}, 1.0f);
+  float prev = x.value().at(0);
+  float prev_step = 1e9f;
+  for (int i = 0; i < 5; ++i) {
+    opt.ZeroGrad();
+    x.mutable_grad().at(0) = 1.0f;  // constant gradient
+    opt.Step();
+    const float step = prev - x.value().at(0);
+    EXPECT_LT(step, prev_step);
+    prev_step = step;
+    prev = x.value().at(0);
+  }
+}
+
+TEST(OptimEdgeTest, GradAccumulationActsAsSum) {
+  // Two backward passes before one step == one pass with doubled gradient.
+  auto run = [](int passes) {
+    autograd::Var x(Tensor::FromVector({1.0f}), true);
+    optim::Sgd opt({x}, 0.1f);
+    opt.ZeroGrad();
+    for (int p = 0; p < passes; ++p) {
+      autograd::Sum(autograd::MulScalar(x, 3.0f)).Backward();
+    }
+    opt.Step();
+    return x.value().at(0);
+  };
+  EXPECT_FLOAT_EQ(run(1), 1.0f - 0.1f * 3.0f);
+  EXPECT_FLOAT_EQ(run(2), 1.0f - 0.1f * 6.0f);
+}
+
+TEST(BatcherEdgeTest, BatchLargerThanDataIsOneBatch) {
+  std::vector<data::Interaction> data{{1, 1, 1.0f}, {2, 2, 0.0f}};
+  Rng rng(1);
+  data::Batcher batcher(&data, 100, &rng);
+  data::Batch b;
+  ASSERT_TRUE(batcher.Next(&b));
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_FALSE(batcher.Next(&b));
+}
+
+TEST(BatcherEdgeTest, BatchSizeOneVisitsEverything) {
+  std::vector<data::Interaction> data;
+  for (int i = 0; i < 7; ++i) data.push_back({i, i, 1.0f});
+  Rng rng(1);
+  data::Batcher batcher(&data, 1, &rng);
+  data::Batch b;
+  int count = 0;
+  while (batcher.Next(&b)) {
+    EXPECT_EQ(b.size(), 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 7);
+}
+
+TEST(BatcherEdgeTest, EmptyDataYieldsNoBatches) {
+  std::vector<data::Interaction> data;
+  Rng rng(1);
+  data::Batcher batcher(&data, 8, &rng);
+  data::Batch b;
+  EXPECT_FALSE(batcher.Next(&b));
+}
+
+TEST(MamdrEdgeTest, ScorerMatchesManualCompositeInstall) {
+  auto ds = mamdr::testing::TinyDataset(2, 120, 9);
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(4);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.dr_sample_k = 1;
+  tc.dr_max_batches = 1;
+  core::Mamdr mamdr(model.get(), &ds, tc);
+  mamdr.Train();
+  data::Batch batch = data::Batcher::All(ds.domain(1).test);
+  auto via_scorer = mamdr.Scorer()(batch, 1);
+  mamdr.store()->InstallComposite(1);
+  auto manual = model->Score(batch, 1);
+  ASSERT_EQ(via_scorer.size(), manual.size());
+  for (size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_FLOAT_EQ(via_scorer[i], manual[i]);
+  }
+}
+
+TEST(MamdrEdgeTest, SingleDomainDatasetStillTrains) {
+  auto ds = mamdr::testing::TinyDataset(1, 150, 9);
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(4);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.dr_sample_k = 2;  // > available helpers: must self-regularize
+  core::Mamdr mamdr(model.get(), &ds, tc);
+  mamdr.Train();
+  const auto aucs = mamdr.EvaluateTest();
+  ASSERT_EQ(aucs.size(), 1u);
+  EXPECT_GT(aucs[0], 0.0);
+}
+
+TEST(AucEdgeTest, SingleSampleIsHalf) {
+  EXPECT_DOUBLE_EQ(metrics::Auc({0.7f}, {1.0f}), 0.5);
+}
+
+}  // namespace
+}  // namespace mamdr

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/logging.h"
+
+namespace mamdr {
+namespace {
+
+FlagParser MustParse(std::vector<const char*> argv) {
+  auto result = FlagParser::Parse(static_cast<int>(argv.size()), argv.data());
+  MAMDR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = MustParse({"prog", "--epochs=12", "--model=STAR"});
+  EXPECT_EQ(flags.GetInt("epochs", 0), 12);
+  EXPECT_EQ(flags.GetString("model", ""), "STAR");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto flags = MustParse({"prog", "--inner-lr", "0.01", "--k", "5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("inner-lr", 0.0), 0.01);
+  EXPECT_EQ(flags.GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  auto flags = MustParse({"prog", "--stats", "--epochs", "3"});
+  EXPECT_TRUE(flags.GetBool("stats", false));
+  EXPECT_EQ(flags.GetInt("epochs", 0), 3);
+}
+
+TEST(FlagsTest, BoolValueVariants) {
+  auto flags =
+      MustParse({"prog", "--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  auto flags = MustParse({"prog"});
+  EXPECT_EQ(flags.GetInt("epochs", 10), 10);
+  EXPECT_EQ(flags.GetString("model", "MLP"), "MLP");
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, PositionalArgumentsRejected) {
+  const char* argv[] = {"prog", "oops"};
+  auto result = FlagParser::Parse(2, argv);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, UnrecognizedTracksUnqueried) {
+  auto flags = MustParse({"prog", "--known=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("known", 0), 1);
+  const auto unknown = flags.Unrecognized();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, ProgramName) {
+  auto flags = MustParse({"mamdr_run"});
+  EXPECT_EQ(flags.program(), "mamdr_run");
+}
+
+}  // namespace
+}  // namespace mamdr

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "metrics/auc.h"
+#include "metrics/gauc.h"
+
+namespace mamdr {
+namespace metrics {
+namespace {
+
+TEST(GAucTest, SingleUserEqualsAuc) {
+  std::vector<int64_t> users{7, 7, 7, 7};
+  std::vector<float> scores{0.8f, 0.3f, 0.5f, 0.1f};
+  std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(GAuc(users, scores, labels), Auc(scores, labels));
+}
+
+TEST(GAucTest, SingleClassUsersAreSkipped) {
+  // User 1 has only positives (skipped); user 2 is perfectly separated.
+  std::vector<int64_t> users{1, 1, 2, 2};
+  std::vector<float> scores{0.2f, 0.3f, 0.9f, 0.1f};
+  std::vector<float> labels{1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(GAuc(users, scores, labels), 1.0);
+}
+
+TEST(GAucTest, AllSingleClassIsHalf) {
+  std::vector<int64_t> users{1, 2};
+  EXPECT_DOUBLE_EQ(GAuc(users, {0.9f, 0.1f}, {1, 0}), 0.5);
+}
+
+TEST(GAucTest, WeightsByGroupSize) {
+  // User 1 (2 samples): AUC 1.0. User 2 (4 samples): AUC 0.0.
+  // GAUC = (2*1 + 4*0) / 6 = 1/3.
+  std::vector<int64_t> users{1, 1, 2, 2, 2, 2};
+  std::vector<float> scores{0.9f, 0.1f, 0.1f, 0.2f, 0.8f, 0.9f};
+  std::vector<float> labels{1, 0, 1, 1, 0, 0};
+  EXPECT_NEAR(GAuc(users, scores, labels), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GAucTest, RemovesCrossUserScaleEffects) {
+  // Per-user ranking is perfect, but user 2's scores are globally higher
+  // than user 1's: global AUC is imperfect, GAUC is 1.
+  std::vector<int64_t> users{1, 1, 2, 2};
+  std::vector<float> scores{0.30f, 0.10f, 0.90f, 0.70f};
+  std::vector<float> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(GAuc(users, scores, labels), 1.0);
+  EXPECT_LT(Auc(scores, labels), 1.0);
+}
+
+TEST(GAucTest, EmptyInputIsHalf) {
+  EXPECT_DOUBLE_EQ(GAuc({}, {}, {}), 0.5);
+}
+
+TEST(GAucTest, RandomScoresNearHalf) {
+  Rng rng(3);
+  std::vector<int64_t> users;
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 4000; ++i) {
+    users.push_back(static_cast<int64_t>(rng.UniformInt(40)));
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.3f) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(GAuc(users, scores, labels), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace mamdr

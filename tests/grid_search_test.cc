@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "models/registry.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace core {
+namespace {
+
+class GridSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = mamdr::testing::TinyDataset(2, 120, 5);
+    mc_ = mamdr::testing::TinyModelConfig(ds_);
+    factory_ = [this] {
+      Rng rng(mc_.seed);
+      return std::move(models::CreateModel("MLP", mc_, &rng)).value();
+    };
+  }
+
+  data::MultiDomainDataset ds_;
+  models::ModelConfig mc_;
+  ModelFactory factory_;
+};
+
+TEST_F(GridSearchTest, SweepsTheFullCross) {
+  TrainConfig base;
+  base.epochs = 1;
+  GridSpec grid;
+  grid.inner_lr = {1e-3f, 1e-2f};
+  grid.outer_lr = {0.5f, 1.0f};
+  auto cells = GridSearch(factory_, "DN", ds_, base, grid);
+  EXPECT_EQ(cells.size(), 4u);  // 2 x 2 (gamma, k default)
+}
+
+TEST_F(GridSearchTest, EmptyDimensionsKeepBase) {
+  TrainConfig base;
+  base.epochs = 1;
+  base.inner_lr = 3e-3f;
+  auto cells = GridSearch(factory_, "Alternate", ds_, base, GridSpec{});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FLOAT_EQ(cells[0].config.inner_lr, 3e-3f);
+}
+
+TEST_F(GridSearchTest, ResultsSortedByValidation) {
+  TrainConfig base;
+  base.epochs = 3;
+  GridSpec grid;
+  grid.inner_lr = {1e-4f, 1e-3f, 1e-2f};
+  grid.outer_lr = {0.5f, 1.0f};
+  auto cells = GridSearch(factory_, "Alternate", ds_, base, grid);
+  ASSERT_EQ(cells.size(), 6u);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_GE(cells[i - 1].val_auc, cells[i].val_auc);
+  }
+}
+
+TEST_F(GridSearchTest, ReportsTestAtBestValEpoch) {
+  TrainConfig base;
+  base.epochs = 2;
+  auto cells = GridSearch(factory_, "MAMDR", ds_, base, GridSpec{});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_GT(cells[0].val_auc, 0.0);
+  EXPECT_GT(cells[0].test_auc, 0.0);
+  EXPECT_LE(cells[0].test_auc, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace mamdr

@@ -1,0 +1,94 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mamdr_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  auto ds = mamdr::testing::TinyDataset(3, 150, 37);
+  ASSERT_TRUE(SaveCsv(ds, dir_.string()).ok());
+  auto loaded_result = LoadCsv(dir_.string());
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const auto& loaded = loaded_result.value();
+
+  EXPECT_EQ(loaded.name(), ds.name());
+  EXPECT_EQ(loaded.num_users(), ds.num_users());
+  EXPECT_EQ(loaded.num_items(), ds.num_items());
+  ASSERT_EQ(loaded.num_domains(), ds.num_domains());
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    const auto& a = ds.domain(d);
+    const auto& b = loaded.domain(d);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_NEAR(a.ctr_ratio, b.ctr_ratio, 1e-9);
+    ASSERT_EQ(a.train.size(), b.train.size());
+    ASSERT_EQ(a.val.size(), b.val.size());
+    ASSERT_EQ(a.test.size(), b.test.size());
+    for (size_t i = 0; i < a.train.size(); ++i) {
+      EXPECT_EQ(a.train[i].user, b.train[i].user);
+      EXPECT_EQ(a.train[i].item, b.train[i].item);
+      EXPECT_EQ(a.train[i].label, b.train[i].label);
+    }
+  }
+  EXPECT_TRUE(loaded.Validate().ok());
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  auto result = LoadCsv((dir_ / "nope").string());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, DomainNamesWithSpacesAreSlugged) {
+  MultiDomainDataset ds("spaces", 10, 10);
+  DomainData d;
+  d.name = "Toys and Games";
+  d.ctr_ratio = 0.3;
+  d.train.push_back({1, 2, 1.0f});
+  d.train.push_back({1, 3, 0.0f});
+  d.val.push_back({2, 2, 1.0f});
+  d.test.push_back({3, 2, 0.0f});
+  ASSERT_TRUE(ds.AddDomain(std::move(d)).ok());
+  ASSERT_TRUE(SaveCsv(ds, dir_.string()).ok());
+  EXPECT_TRUE(fs::exists(dir_ / "Toys_and_Games" / "train.csv"));
+  auto loaded = LoadCsv(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().domain(0).name, "Toys and Games");
+}
+
+TEST_F(IoTest, CorruptHeaderIsRejected) {
+  auto ds = mamdr::testing::TinyDataset(1, 60, 5);
+  ASSERT_TRUE(SaveCsv(ds, dir_.string()).ok());
+  // Clobber one split header.
+  const fs::path victim = dir_ / "T0" / "train.csv";
+  FILE* f = std::fopen(victim.c_str(), "w");
+  std::fputs("not,a,valid,header\n", f);
+  std::fclose(f);
+  auto result = LoadCsv(dir_.string());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace mamdr

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "metrics/auc.h"
+#include "metrics/conflict_probe.h"
+#include "metrics/evaluator.h"
+#include "metrics/rank_table.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace metrics {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AucTest, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.9f}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({}, {}), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}.
+  // pairs: (0.8>0.5, 0.8>0.1, 0.3<0.5, 0.3>0.1) -> 3/4 = 0.75.
+  EXPECT_DOUBLE_EQ(Auc({0.8f, 0.3f, 0.5f, 0.1f}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: pairs (tie=0.5, win=1) -> 1.5/2.
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.1f}, {1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  std::vector<float> s{0.1f, 0.4f, 0.35f, 0.8f};
+  std::vector<float> labels{0, 1, 0, 1};
+  std::vector<float> s2;
+  for (float v : s) s2.push_back(100.0f * v + 7.0f);
+  EXPECT_DOUBLE_EQ(Auc(s, labels), Auc(s2, labels));
+}
+
+TEST(RankTableTest, RanksAndAverages) {
+  std::vector<MethodResult> results{
+      {"A", {0.9, 0.5}},  // ranks: 1, 2 -> 1.5
+      {"B", {0.8, 0.6}},  // ranks: 2, 1 -> 1.5
+      {"C", {0.7, 0.4}},  // ranks: 3, 3 -> 3.0
+  };
+  auto rows = ComputeRankTable(results);
+  EXPECT_NEAR(rows[0].avg_auc, 0.7, 1e-9);
+  EXPECT_NEAR(rows[0].avg_rank, 1.5, 1e-9);
+  EXPECT_NEAR(rows[1].avg_rank, 1.5, 1e-9);
+  EXPECT_NEAR(rows[2].avg_rank, 3.0, 1e-9);
+}
+
+TEST(RankTableTest, TiesShareMeanRank) {
+  std::vector<MethodResult> results{
+      {"A", {0.9}},
+      {"B", {0.9}},
+      {"C", {0.1}},
+  };
+  auto rows = ComputeRankTable(results);
+  EXPECT_NEAR(rows[0].avg_rank, 1.5, 1e-9);
+  EXPECT_NEAR(rows[1].avg_rank, 1.5, 1e-9);
+  EXPECT_NEAR(rows[2].avg_rank, 3.0, 1e-9);
+}
+
+TEST(RankTableTest, FormatRenders) {
+  auto rows = ComputeRankTable({{"MLP", {0.75}}, {"MAMDR", {0.80}}});
+  const std::string s = FormatRankTable(rows);
+  EXPECT_NE(s.find("MAMDR"), std::string::npos);
+  EXPECT_NE(s.find("0.8000"), std::string::npos);
+}
+
+TEST(ConflictProbeTest, OrthogonalGradientsNoConflict) {
+  std::vector<Tensor> grads{Tensor::FromVector({1, 0}),
+                            Tensor::FromVector({0, 1})};
+  auto report = MeasureConflict(grads);
+  EXPECT_DOUBLE_EQ(report.mean_inner_product, 0.0);
+  EXPECT_DOUBLE_EQ(report.conflict_rate, 0.0);
+  EXPECT_EQ(report.num_pairs, 1);
+}
+
+TEST(ConflictProbeTest, OpposedGradientsFullConflict) {
+  std::vector<Tensor> grads{Tensor::FromVector({1, 1}),
+                            Tensor::FromVector({-1, -1}),
+                            Tensor::FromVector({2, 2})};
+  auto report = MeasureConflict(grads);
+  // pairs: (1,2) conflict, (1,3) aligned, (2,3) conflict -> 2/3.
+  EXPECT_NEAR(report.conflict_rate, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(report.num_pairs, 3);
+}
+
+TEST(ConflictProbeTest, CosineIsNormalized) {
+  std::vector<Tensor> grads{Tensor::FromVector({10, 0}),
+                            Tensor::FromVector({0.1f, 0})};
+  auto report = MeasureConflict(grads);
+  EXPECT_NEAR(report.mean_cosine, 1.0, 1e-5);
+}
+
+TEST(ConflictProbeTest, FewerThanTwoDomainsIsEmpty) {
+  auto report = MeasureConflict({Tensor::FromVector({1})});
+  EXPECT_EQ(report.num_pairs, 0);
+}
+
+TEST(EvaluatorTest, ConstantScorerGivesHalf) {
+  auto ds = mamdr::testing::TinyDataset();
+  ScoreFn constant = [](const data::Batch& b, int64_t) {
+    return std::vector<float>(static_cast<size_t>(b.size()), 0.5f);
+  };
+  EXPECT_DOUBLE_EQ(AverageAuc(ds, Split::kTest, constant), 0.5);
+}
+
+TEST(EvaluatorTest, LabelLeakScorerGivesOne) {
+  auto ds = mamdr::testing::TinyDataset();
+  ScoreFn oracle = [](const data::Batch& b, int64_t) {
+    return b.labels;  // cheat: score = label
+  };
+  EXPECT_DOUBLE_EQ(AverageAuc(ds, Split::kTest, oracle), 1.0);
+  auto per_domain = EvaluateAllDomains(ds, Split::kTest, oracle);
+  EXPECT_EQ(per_domain.size(), 3u);
+  for (double a : per_domain) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(EvaluatorTest, SplitsAreDistinct) {
+  auto ds = mamdr::testing::TinyDataset();
+  // A scorer keyed on the split size distinguishes train/val/test volumes.
+  EXPECT_GT(ds.domain(0).train.size(), ds.domain(0).test.size());
+  ScoreFn oracle = [](const data::Batch& b, int64_t) { return b.labels; };
+  EXPECT_DOUBLE_EQ(EvaluateDomain(ds, 0, Split::kTrain, oracle), 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateDomain(ds, 0, Split::kVal, oracle), 1.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace mamdr

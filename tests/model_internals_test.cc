@@ -1,0 +1,143 @@
+// Architecture-specific unit tests: StarLinear's weight composition, the
+// CGC layer's gating structure, and the PS row extractor's field mapping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/ple.h"
+#include "models/registry.h"
+#include "models/star.h"
+#include "ps/worker.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace {
+
+TEST(StarLinearTest, InitialDomainWeightsAreNeutral) {
+  // Fresh domain weights are ones / biases zeros, so every domain initially
+  // computes exactly the shared transform.
+  Rng rng(5);
+  models::StarLinear layer(3, 2, /*num_domains=*/3, &rng);
+  Tensor x_raw({4, 3});
+  for (int64_t i = 0; i < x_raw.size(); ++i) {
+    x_raw.at(i) = static_cast<float>(rng.Normal());
+  }
+  autograd::Var x(x_raw);
+  auto y0 = layer.Forward(x, 0);
+  auto y1 = layer.Forward(x, 1);
+  auto y2 = layer.Forward(x, 2);
+  EXPECT_TRUE(ops::AllClose(y0.value(), y1.value()));
+  EXPECT_TRUE(ops::AllClose(y0.value(), y2.value()));
+}
+
+TEST(StarLinearTest, DomainWeightIsMultiplicative) {
+  Rng rng(5);
+  models::StarLinear layer(2, 1, /*num_domains=*/2, &rng);
+  // Zero out domain 1's multiplicative weight: its output must equal the
+  // bias alone regardless of input.
+  auto params = layer.NamedParameters();
+  for (auto& [name, p] : params) {
+    if (name == "weight_d1") {
+      autograd::Var v = p;
+      v.mutable_value().Fill(0.0f);
+    }
+  }
+  autograd::Var x(Tensor::FromMatrix({{1.0f, 2.0f}, {3.0f, -1.0f}}));
+  auto y = layer.Forward(x, 1);
+  EXPECT_FLOAT_EQ(y.value().at(0, 0), y.value().at(1, 0));
+  // Domain 0 unaffected: still a genuine linear transform.
+  auto y0 = layer.Forward(x, 0);
+  EXPECT_NE(y0.value().at(0, 0), y0.value().at(1, 0));
+}
+
+TEST(StarLinearTest, DomainGradientsAreIsolated) {
+  Rng rng(5);
+  models::StarLinear layer(2, 2, /*num_domains=*/2, &rng);
+  autograd::Var x(Tensor::FromMatrix({{1.0f, 2.0f}}));
+  layer.ZeroGrad();
+  autograd::Sum(layer.Forward(x, 0)).Backward();
+  for (auto& [name, p] : layer.NamedParameters()) {
+    const float g = ops::MaxAbs(p.grad());
+    if (name.find("_d1") != std::string::npos) {
+      EXPECT_EQ(g, 0.0f) << name << " received gradient from domain 0";
+    } else {
+      EXPECT_GT(g, 0.0f) << name << " got no gradient";
+    }
+  }
+}
+
+TEST(CgcLayerTest, OutputShapesAndDomainCount) {
+  Rng rng(6);
+  models::CgcLayer layer(/*in_dim=*/4, /*expert_dim=*/3,
+                         /*num_shared_experts=*/2, /*num_domains=*/3, &rng,
+                         0.0f);
+  Tensor x_raw({5, 4}, 0.5f);
+  autograd::Var x(x_raw);
+  nn::Context ctx;
+  auto out = layer.Forward(x, {x, x, x}, ctx);
+  EXPECT_EQ(out.shared.value().cols(), 3);
+  ASSERT_EQ(out.domain.size(), 3u);
+  for (const auto& d : out.domain) {
+    EXPECT_EQ(d.value().rows(), 5);
+    EXPECT_EQ(d.value().cols(), 3);
+  }
+}
+
+TEST(CgcLayerTest, DomainGateExcludesOtherDomainsExperts) {
+  // Gradient w.r.t. domain 1's expert must be zero when only domain 0's
+  // output (not the shared path) is used in the loss.
+  Rng rng(6);
+  models::CgcLayer layer(3, 2, 1, /*num_domains=*/2, &rng, 0.0f);
+  Tensor x_raw({2, 3}, 1.0f);
+  autograd::Var x(x_raw);
+  nn::Context ctx;
+  layer.ZeroGrad();
+  auto out = layer.Forward(x, {x, x}, ctx);
+  autograd::Sum(out.domain[0]).Backward();
+  for (auto& [name, p] : layer.NamedParameters()) {
+    if (name.find("domain_expert1") != std::string::npos ||
+        name.find("domain_gate1") != std::string::npos) {
+      EXPECT_EQ(ops::MaxAbs(p.grad()), 0.0f)
+          << name << " leaked into domain 0's tower path";
+    }
+  }
+}
+
+TEST(RowExtractorTest, MapsFieldsToTables) {
+  auto ds = mamdr::testing::TinyDataset();
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(7);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  std::vector<bool> is_embedding;
+  auto extractor =
+      ps::MakeDefaultRowExtractor(model.get(), mc, &is_embedding);
+
+  // Exactly four embedding tables flagged.
+  int64_t flagged = 0;
+  for (bool b : is_embedding) flagged += b ? 1 : 0;
+  EXPECT_EQ(flagged, 4);
+
+  data::Batch batch;
+  batch.users = {11, 25};
+  batch.items = {3, 17};
+  batch.labels = {1, 0};
+  auto touched = extractor(batch);
+  ASSERT_EQ(touched.size(), 4u);
+  // user table rows = raw user ids; group rows = ids % num_user_groups.
+  EXPECT_EQ(touched[0].rows, (std::vector<int64_t>{11, 25}));
+  EXPECT_EQ(touched[1].rows, (std::vector<int64_t>{3, 17}));
+  EXPECT_EQ(touched[2].rows,
+            (std::vector<int64_t>{11 % mc.num_user_groups,
+                                  25 % mc.num_user_groups}));
+  EXPECT_EQ(touched[3].rows,
+            (std::vector<int64_t>{3 % mc.num_item_cats,
+                                  17 % mc.num_item_cats}));
+  // The flagged parameter indices match the touched param indices.
+  for (const auto& t : touched) {
+    EXPECT_TRUE(is_embedding[static_cast<size_t>(t.param_index)]);
+  }
+}
+
+}  // namespace
+}  // namespace mamdr

@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/adagrad.h"
+#include "optim/adam.h"
+#include "optim/param_snapshot.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+
+namespace mamdr {
+namespace optim {
+namespace {
+
+using autograd::Var;
+
+/// Minimize ||x - target||^2 with the given optimizer for `steps` steps;
+/// returns the final squared distance.
+template <typename Opt, typename... Args>
+float MinimizeQuadratic(int steps, float lr, Args... args) {
+  Var x(Tensor::FromVector({5.0f, -3.0f, 2.0f}), true);
+  Tensor target = Tensor::FromVector({1.0f, 1.0f, 1.0f});
+  Opt opt(std::vector<Var>{x}, lr, args...);
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Var diff = autograd::Sub(x, Var(target));
+    autograd::Sum(autograd::Square(diff)).Backward();
+    opt.Step();
+  }
+  return ops::SquaredNorm(
+      ops::Sub(x.value(), target));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<Sgd>(100, 0.1f), 1e-4f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  EXPECT_LT(MinimizeQuadratic<Sgd>(200, 0.05f, 0.9f), 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<Adam>(300, 0.1f), 1e-3f);
+}
+
+TEST(AdagradTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<Adagrad>(500, 0.5f), 1e-3f);
+}
+
+TEST(SgdTest, SingleStepIsExact) {
+  Var x(Tensor::FromVector({1.0f}), true);
+  Sgd opt({x}, 0.5f);
+  opt.ZeroGrad();
+  autograd::Sum(autograd::Square(x)).Backward();  // grad = 2
+  opt.Step();
+  EXPECT_FLOAT_EQ(x.value().at(0), 0.0f);  // 1 - 0.5*2
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGrad) {
+  Var a(Tensor::FromVector({1.0f}), true);
+  Var b(Tensor::FromVector({2.0f}), true);
+  Sgd opt({a, b}, 0.1f);
+  a.ZeroGrad();
+  a.mutable_grad().at(0) = 1.0f;
+  b.ClearGrad();  // no grad buffer
+  opt.Step();
+  EXPECT_FLOAT_EQ(a.value().at(0), 0.9f);
+  EXPECT_FLOAT_EQ(b.value().at(0), 2.0f);
+}
+
+TEST(AdamTest, FirstStepSizeIsLr) {
+  // With bias correction, Adam's first step is exactly lr * sign(g).
+  Var x(Tensor::FromVector({1.0f}), true);
+  Adam opt({x}, 0.1f);
+  opt.ZeroGrad();
+  x.mutable_grad().at(0) = 3.0f;
+  opt.Step();
+  EXPECT_NEAR(x.value().at(0), 0.9f, 1e-5f);
+}
+
+TEST(AdamTest, ResetRestoresFirstStepBehaviour) {
+  Var x(Tensor::FromVector({1.0f}), true);
+  Adam opt({x}, 0.1f);
+  opt.ZeroGrad();
+  x.mutable_grad().at(0) = 1.0f;
+  opt.Step();
+  const float delta1 = 1.0f - x.value().at(0);
+  opt.Reset();
+  const float before = x.value().at(0);
+  opt.ZeroGrad();
+  x.mutable_grad().at(0) = 1.0f;
+  opt.Step();
+  EXPECT_NEAR(before - x.value().at(0), delta1, 1e-5f);
+}
+
+TEST(SnapshotTest, RoundTrip) {
+  Var a(Tensor::FromVector({1, 2}), true);
+  Var b(Tensor::FromVector({3}), true);
+  auto snap = Snapshot({a, b});
+  a.mutable_value().at(0) = 99.0f;
+  b.mutable_value().at(0) = 99.0f;
+  Restore({a, b}, snap);
+  EXPECT_FLOAT_EQ(a.value().at(0), 1.0f);
+  EXPECT_FLOAT_EQ(b.value().at(0), 3.0f);
+}
+
+TEST(SnapshotTest, SnapshotIsDeepCopy) {
+  Var a(Tensor::FromVector({1.0f}), true);
+  auto snap = Snapshot({a});
+  a.mutable_value().at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(snap[0].at(0), 1.0f);
+}
+
+TEST(MetaInterpolateTest, MatchesEquation3) {
+  // p <- snap + beta * (p - snap).
+  Var p(Tensor::FromVector({10.0f}), true);
+  std::vector<Tensor> snap{Tensor::FromVector({4.0f})};
+  MetaInterpolate({p}, snap, 0.5f);
+  EXPECT_FLOAT_EQ(p.value().at(0), 7.0f);
+}
+
+TEST(MetaInterpolateTest, BetaOneKeepsInnerResult) {
+  Var p(Tensor::FromVector({10.0f}), true);
+  std::vector<Tensor> snap{Tensor::FromVector({4.0f})};
+  MetaInterpolate({p}, snap, 1.0f);
+  EXPECT_FLOAT_EQ(p.value().at(0), 10.0f);  // degenerate: alternate training
+}
+
+TEST(MetaInterpolateTest, BetaZeroRestoresSnapshot) {
+  Var p(Tensor::FromVector({10.0f}), true);
+  std::vector<Tensor> snap{Tensor::FromVector({4.0f})};
+  MetaInterpolate({p}, snap, 0.0f);
+  EXPECT_FLOAT_EQ(p.value().at(0), 4.0f);
+}
+
+TEST(WriteMetaGradTest, GradPointsFromCurrentToSnapshot) {
+  Var p(Tensor::FromVector({10.0f}), true);
+  std::vector<Tensor> snap{Tensor::FromVector({4.0f})};
+  WriteMetaGrad({p}, snap);
+  // Descending this gradient with lr beta reproduces Eq. 3.
+  EXPECT_FLOAT_EQ(p.grad().at(0), -6.0f);
+  Sgd opt({p}, 0.5f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value().at(0), 13.0f);  // moved further along (p - snap)
+}
+
+TEST(FlattenTest, RoundTrip) {
+  std::vector<Tensor> tensors{Tensor::FromVector({1, 2}),
+                              Tensor::FromMatrix({{3, 4}, {5, 6}})};
+  Tensor flat = Flatten(tensors);
+  EXPECT_EQ(flat.size(), 6);
+  EXPECT_FLOAT_EQ(flat.at(2), 3.0f);
+  auto back = Unflatten(flat, tensors);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(ops::AllClose(back[0], tensors[0]));
+  EXPECT_TRUE(ops::AllClose(back[1], tensors[1]));
+}
+
+TEST(GradSnapshotTest, MissingGradsBecomeZeros) {
+  Var a(Tensor::FromVector({1.0f}), true);
+  auto grads = GradSnapshot({a});
+  EXPECT_FLOAT_EQ(grads[0].at(0), 0.0f);
+}
+
+TEST(SetGradsTest, OverwritesExisting) {
+  Var a(Tensor::FromVector({1.0f}), true);
+  a.ZeroGrad();
+  a.mutable_grad().at(0) = 5.0f;
+  SetGrads({a}, {Tensor::FromVector({2.0f})});
+  EXPECT_FLOAT_EQ(a.grad().at(0), 2.0f);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace mamdr

@@ -1,0 +1,54 @@
+// Shared helpers for the test suite.
+#ifndef MAMDR_TESTS_TEST_UTIL_H_
+#define MAMDR_TESTS_TEST_UTIL_H_
+
+#include "data/synthetic.h"
+#include "models/ctr_model.h"
+
+namespace mamdr {
+namespace testing {
+
+/// A tiny but learnable multi-domain dataset (fast enough for unit tests).
+inline data::MultiDomainDataset TinyDataset(int num_domains = 3,
+                                            int64_t pos_per_domain = 120,
+                                            uint64_t seed = 11) {
+  data::SyntheticConfig c;
+  c.name = "tiny";
+  c.num_users = 120;
+  c.num_items = 60;
+  c.seed = seed;
+  for (int d = 0; d < num_domains; ++d) {
+    data::DomainSpec spec;
+    spec.name = "T" + std::to_string(d);
+    spec.num_positives = pos_per_domain;
+    spec.ctr_ratio = 0.25 + 0.05 * d;
+    spec.conflict = 0.5;
+    c.domains.push_back(std::move(spec));
+  }
+  auto result = data::Generate(c);
+  MAMDR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Model config matching TinyDataset.
+inline models::ModelConfig TinyModelConfig(
+    const data::MultiDomainDataset& ds) {
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 4;
+  mc.hidden = {16, 8};
+  mc.expert_hidden = {16};
+  mc.tower_hidden = {8};
+  mc.attn_heads = 1;
+  mc.attn_head_dim = 4;
+  mc.num_user_groups = 10;
+  mc.num_item_cats = 6;
+  return mc;
+}
+
+}  // namespace testing
+}  // namespace mamdr
+
+#endif  // MAMDR_TESTS_TEST_UTIL_H_
