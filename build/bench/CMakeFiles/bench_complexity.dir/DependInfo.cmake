@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_complexity.cpp" "bench/CMakeFiles/bench_complexity.dir/bench_complexity.cpp.o" "gcc" "bench/CMakeFiles/bench_complexity.dir/bench_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict_probe.dir/bench_conflict_probe.cpp.o"
+  "CMakeFiles/bench_conflict_probe.dir/bench_conflict_probe.cpp.o.d"
+  "bench_conflict_probe"
+  "bench_conflict_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_cache.dir/bench_ps_cache.cpp.o"
+  "CMakeFiles/bench_ps_cache.dir/bench_ps_cache.cpp.o.d"
+  "bench_ps_cache"
+  "bench_ps_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

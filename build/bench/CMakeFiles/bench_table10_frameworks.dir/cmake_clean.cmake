@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_frameworks.dir/bench_table10_frameworks.cpp.o"
+  "CMakeFiles/bench_table10_frameworks.dir/bench_table10_frameworks.cpp.o.d"
+  "bench_table10_frameworks"
+  "bench_table10_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

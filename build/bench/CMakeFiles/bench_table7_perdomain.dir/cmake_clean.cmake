@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_perdomain.dir/bench_table7_perdomain.cpp.o"
+  "CMakeFiles/bench_table7_perdomain.dir/bench_table7_perdomain.cpp.o.d"
+  "bench_table7_perdomain"
+  "bench_table7_perdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_perdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

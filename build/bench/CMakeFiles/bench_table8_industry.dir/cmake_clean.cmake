@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_industry.dir/bench_table8_industry.cpp.o"
+  "CMakeFiles/bench_table8_industry.dir/bench_table8_industry.cpp.o.d"
+  "bench_table8_industry"
+  "bench_table8_industry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_industry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

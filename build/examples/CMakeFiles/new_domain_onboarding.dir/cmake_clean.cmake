@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_domain_onboarding.dir/new_domain_onboarding.cpp.o"
+  "CMakeFiles/new_domain_onboarding.dir/new_domain_onboarding.cpp.o.d"
+  "new_domain_onboarding"
+  "new_domain_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_domain_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

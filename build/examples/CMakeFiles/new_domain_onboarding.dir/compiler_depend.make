@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for new_domain_onboarding.
+# This may be replaced when dependencies are built.

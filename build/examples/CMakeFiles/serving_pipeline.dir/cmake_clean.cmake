@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_pipeline.dir/serving_pipeline.cpp.o"
+  "CMakeFiles/serving_pipeline.dir/serving_pipeline.cpp.o.d"
+  "serving_pipeline"
+  "serving_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

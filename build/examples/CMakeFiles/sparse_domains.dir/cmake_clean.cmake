@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_domains.dir/sparse_domains.cpp.o"
+  "CMakeFiles/sparse_domains.dir/sparse_domains.cpp.o.d"
+  "sparse_domains"
+  "sparse_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

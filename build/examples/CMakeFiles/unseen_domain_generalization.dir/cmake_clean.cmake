@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_domain_generalization.dir/unseen_domain_generalization.cpp.o"
+  "CMakeFiles/unseen_domain_generalization.dir/unseen_domain_generalization.cpp.o.d"
+  "unseen_domain_generalization"
+  "unseen_domain_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_domain_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

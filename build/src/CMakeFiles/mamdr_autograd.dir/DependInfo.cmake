@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/grad_check.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/grad_check.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops_activation.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_activation.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_activation.cc.o.d"
+  "/root/repo/src/autograd/ops_basic.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_basic.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_basic.cc.o.d"
+  "/root/repo/src/autograd/ops_embedding.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_embedding.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_embedding.cc.o.d"
+  "/root/repo/src/autograd/ops_loss.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_loss.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_loss.cc.o.d"
+  "/root/repo/src/autograd/ops_matmul.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_matmul.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_matmul.cc.o.d"
+  "/root/repo/src/autograd/ops_reduce.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_reduce.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_reduce.cc.o.d"
+  "/root/repo/src/autograd/ops_shape.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_shape.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/ops_shape.cc.o.d"
+  "/root/repo/src/autograd/tape.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/tape.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/tape.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/mamdr_autograd.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/mamdr_autograd.dir/autograd/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

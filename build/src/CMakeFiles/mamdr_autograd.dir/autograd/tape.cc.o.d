@@ -1,0 +1,3 @@
+src/CMakeFiles/mamdr_autograd.dir/autograd/tape.cc.o: \
+ /root/repo/src/autograd/tape.cc /usr/include/stdc-predef.h \
+ /root/repo/src/autograd/tape.h

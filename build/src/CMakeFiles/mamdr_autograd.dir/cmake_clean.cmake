@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_activation.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_activation.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_basic.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_basic.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_embedding.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_embedding.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_loss.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_loss.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_matmul.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_matmul.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_reduce.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_reduce.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_shape.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/ops_shape.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/tape.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/tape.cc.o.d"
+  "CMakeFiles/mamdr_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/mamdr_autograd.dir/autograd/variable.cc.o.d"
+  "libmamdr_autograd.a"
+  "libmamdr_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_checkpoint.dir/checkpoint/checkpoint.cc.o"
+  "CMakeFiles/mamdr_checkpoint.dir/checkpoint/checkpoint.cc.o.d"
+  "libmamdr_checkpoint.a"
+  "libmamdr_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

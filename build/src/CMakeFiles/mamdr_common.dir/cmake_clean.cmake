@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_common.dir/common/flags.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/mamdr_common.dir/common/logging.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mamdr_common.dir/common/random.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/random.cc.o.d"
+  "CMakeFiles/mamdr_common.dir/common/status.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mamdr_common.dir/common/string_util.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/mamdr_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/mamdr_common.dir/common/thread_pool.cc.o.d"
+  "libmamdr_common.a"
+  "libmamdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alternate.cc" "src/CMakeFiles/mamdr_core.dir/core/alternate.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/alternate.cc.o.d"
+  "/root/repo/src/core/cdr_transfer.cc" "src/CMakeFiles/mamdr_core.dir/core/cdr_transfer.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/cdr_transfer.cc.o.d"
+  "/root/repo/src/core/domain_negotiation.cc" "src/CMakeFiles/mamdr_core.dir/core/domain_negotiation.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/domain_negotiation.cc.o.d"
+  "/root/repo/src/core/domain_regularization.cc" "src/CMakeFiles/mamdr_core.dir/core/domain_regularization.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/domain_regularization.cc.o.d"
+  "/root/repo/src/core/early_stopper.cc" "src/CMakeFiles/mamdr_core.dir/core/early_stopper.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/early_stopper.cc.o.d"
+  "/root/repo/src/core/finetune.cc" "src/CMakeFiles/mamdr_core.dir/core/finetune.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/finetune.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/CMakeFiles/mamdr_core.dir/core/framework.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/framework.cc.o.d"
+  "/root/repo/src/core/framework_registry.cc" "src/CMakeFiles/mamdr_core.dir/core/framework_registry.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/framework_registry.cc.o.d"
+  "/root/repo/src/core/graddrop.cc" "src/CMakeFiles/mamdr_core.dir/core/graddrop.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/graddrop.cc.o.d"
+  "/root/repo/src/core/grid_search.cc" "src/CMakeFiles/mamdr_core.dir/core/grid_search.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/grid_search.cc.o.d"
+  "/root/repo/src/core/mamdr.cc" "src/CMakeFiles/mamdr_core.dir/core/mamdr.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/mamdr.cc.o.d"
+  "/root/repo/src/core/maml.cc" "src/CMakeFiles/mamdr_core.dir/core/maml.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/maml.cc.o.d"
+  "/root/repo/src/core/mldg.cc" "src/CMakeFiles/mamdr_core.dir/core/mldg.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/mldg.cc.o.d"
+  "/root/repo/src/core/param_store.cc" "src/CMakeFiles/mamdr_core.dir/core/param_store.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/param_store.cc.o.d"
+  "/root/repo/src/core/pcgrad.cc" "src/CMakeFiles/mamdr_core.dir/core/pcgrad.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/pcgrad.cc.o.d"
+  "/root/repo/src/core/reptile.cc" "src/CMakeFiles/mamdr_core.dir/core/reptile.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/reptile.cc.o.d"
+  "/root/repo/src/core/weighted_loss.cc" "src/CMakeFiles/mamdr_core.dir/core/weighted_loss.cc.o" "gcc" "src/CMakeFiles/mamdr_core.dir/core/weighted_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

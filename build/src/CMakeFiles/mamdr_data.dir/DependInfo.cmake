@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch.cc" "src/CMakeFiles/mamdr_data.dir/data/batch.cc.o" "gcc" "src/CMakeFiles/mamdr_data.dir/data/batch.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mamdr_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mamdr_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/mamdr_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/mamdr_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/mamdr_data.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/mamdr_data.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/mamdr_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/mamdr_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_data.dir/data/batch.cc.o"
+  "CMakeFiles/mamdr_data.dir/data/batch.cc.o.d"
+  "CMakeFiles/mamdr_data.dir/data/dataset.cc.o"
+  "CMakeFiles/mamdr_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/mamdr_data.dir/data/io.cc.o"
+  "CMakeFiles/mamdr_data.dir/data/io.cc.o.d"
+  "CMakeFiles/mamdr_data.dir/data/stats.cc.o"
+  "CMakeFiles/mamdr_data.dir/data/stats.cc.o.d"
+  "CMakeFiles/mamdr_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/mamdr_data.dir/data/synthetic.cc.o.d"
+  "libmamdr_data.a"
+  "libmamdr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

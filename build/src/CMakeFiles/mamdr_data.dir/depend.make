@@ -1,0 +1,2 @@
+# Empty dependencies file for mamdr_data.
+# This may be replaced when dependencies are built.

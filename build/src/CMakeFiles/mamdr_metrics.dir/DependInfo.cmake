@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/auc.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/auc.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/auc.cc.o.d"
+  "/root/repo/src/metrics/conflict_probe.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/conflict_probe.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/conflict_probe.cc.o.d"
+  "/root/repo/src/metrics/evaluator.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/evaluator.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/evaluator.cc.o.d"
+  "/root/repo/src/metrics/gauc.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/gauc.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/gauc.cc.o.d"
+  "/root/repo/src/metrics/logloss.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/logloss.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/logloss.cc.o.d"
+  "/root/repo/src/metrics/rank_table.cc" "src/CMakeFiles/mamdr_metrics.dir/metrics/rank_table.cc.o" "gcc" "src/CMakeFiles/mamdr_metrics.dir/metrics/rank_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

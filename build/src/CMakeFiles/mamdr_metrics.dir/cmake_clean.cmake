@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_metrics.dir/metrics/auc.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/auc.cc.o.d"
+  "CMakeFiles/mamdr_metrics.dir/metrics/conflict_probe.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/conflict_probe.cc.o.d"
+  "CMakeFiles/mamdr_metrics.dir/metrics/evaluator.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/evaluator.cc.o.d"
+  "CMakeFiles/mamdr_metrics.dir/metrics/gauc.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/gauc.cc.o.d"
+  "CMakeFiles/mamdr_metrics.dir/metrics/logloss.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/logloss.cc.o.d"
+  "CMakeFiles/mamdr_metrics.dir/metrics/rank_table.cc.o"
+  "CMakeFiles/mamdr_metrics.dir/metrics/rank_table.cc.o.d"
+  "libmamdr_metrics.a"
+  "libmamdr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

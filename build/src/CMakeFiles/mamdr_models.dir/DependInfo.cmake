@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/autoint.cc" "src/CMakeFiles/mamdr_models.dir/models/autoint.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/autoint.cc.o.d"
+  "/root/repo/src/models/ctr_model.cc" "src/CMakeFiles/mamdr_models.dir/models/ctr_model.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/ctr_model.cc.o.d"
+  "/root/repo/src/models/deepfm.cc" "src/CMakeFiles/mamdr_models.dir/models/deepfm.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/deepfm.cc.o.d"
+  "/root/repo/src/models/feature_encoder.cc" "src/CMakeFiles/mamdr_models.dir/models/feature_encoder.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/feature_encoder.cc.o.d"
+  "/root/repo/src/models/mlp_model.cc" "src/CMakeFiles/mamdr_models.dir/models/mlp_model.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/mlp_model.cc.o.d"
+  "/root/repo/src/models/mmoe.cc" "src/CMakeFiles/mamdr_models.dir/models/mmoe.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/mmoe.cc.o.d"
+  "/root/repo/src/models/neurfm.cc" "src/CMakeFiles/mamdr_models.dir/models/neurfm.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/neurfm.cc.o.d"
+  "/root/repo/src/models/ple.cc" "src/CMakeFiles/mamdr_models.dir/models/ple.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/ple.cc.o.d"
+  "/root/repo/src/models/raw_model.cc" "src/CMakeFiles/mamdr_models.dir/models/raw_model.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/raw_model.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/CMakeFiles/mamdr_models.dir/models/registry.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/registry.cc.o.d"
+  "/root/repo/src/models/shared_bottom.cc" "src/CMakeFiles/mamdr_models.dir/models/shared_bottom.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/shared_bottom.cc.o.d"
+  "/root/repo/src/models/star.cc" "src/CMakeFiles/mamdr_models.dir/models/star.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/star.cc.o.d"
+  "/root/repo/src/models/wdl.cc" "src/CMakeFiles/mamdr_models.dir/models/wdl.cc.o" "gcc" "src/CMakeFiles/mamdr_models.dir/models/wdl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

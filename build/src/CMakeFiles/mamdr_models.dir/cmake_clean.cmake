@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_models.dir/models/autoint.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/autoint.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/ctr_model.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/ctr_model.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/deepfm.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/deepfm.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/feature_encoder.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/feature_encoder.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/mlp_model.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/mlp_model.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/mmoe.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/mmoe.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/neurfm.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/neurfm.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/ple.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/ple.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/raw_model.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/raw_model.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/registry.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/registry.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/shared_bottom.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/shared_bottom.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/star.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/star.cc.o.d"
+  "CMakeFiles/mamdr_models.dir/models/wdl.cc.o"
+  "CMakeFiles/mamdr_models.dir/models/wdl.cc.o.d"
+  "libmamdr_models.a"
+  "libmamdr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

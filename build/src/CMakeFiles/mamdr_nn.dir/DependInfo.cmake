@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/mamdr_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/mamdr_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/mamdr_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/fm.cc" "src/CMakeFiles/mamdr_nn.dir/nn/fm.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/fm.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/mamdr_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/mamdr_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp_block.cc" "src/CMakeFiles/mamdr_nn.dir/nn/mlp_block.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/mlp_block.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/mamdr_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/partitioned_norm.cc" "src/CMakeFiles/mamdr_nn.dir/nn/partitioned_norm.cc.o" "gcc" "src/CMakeFiles/mamdr_nn.dir/nn/partitioned_norm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mamdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mamdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/fm.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/fm.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/init.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/mlp_block.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/mlp_block.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/module.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/mamdr_nn.dir/nn/partitioned_norm.cc.o"
+  "CMakeFiles/mamdr_nn.dir/nn/partitioned_norm.cc.o.d"
+  "libmamdr_nn.a"
+  "libmamdr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_optim.dir/optim/adagrad.cc.o"
+  "CMakeFiles/mamdr_optim.dir/optim/adagrad.cc.o.d"
+  "CMakeFiles/mamdr_optim.dir/optim/adam.cc.o"
+  "CMakeFiles/mamdr_optim.dir/optim/adam.cc.o.d"
+  "CMakeFiles/mamdr_optim.dir/optim/optimizer.cc.o"
+  "CMakeFiles/mamdr_optim.dir/optim/optimizer.cc.o.d"
+  "CMakeFiles/mamdr_optim.dir/optim/param_snapshot.cc.o"
+  "CMakeFiles/mamdr_optim.dir/optim/param_snapshot.cc.o.d"
+  "CMakeFiles/mamdr_optim.dir/optim/sgd.cc.o"
+  "CMakeFiles/mamdr_optim.dir/optim/sgd.cc.o.d"
+  "libmamdr_optim.a"
+  "libmamdr_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

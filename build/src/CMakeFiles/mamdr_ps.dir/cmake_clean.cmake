@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_ps.dir/ps/distributed_mamdr.cc.o"
+  "CMakeFiles/mamdr_ps.dir/ps/distributed_mamdr.cc.o.d"
+  "CMakeFiles/mamdr_ps.dir/ps/embedding_cache.cc.o"
+  "CMakeFiles/mamdr_ps.dir/ps/embedding_cache.cc.o.d"
+  "CMakeFiles/mamdr_ps.dir/ps/parameter_server.cc.o"
+  "CMakeFiles/mamdr_ps.dir/ps/parameter_server.cc.o.d"
+  "CMakeFiles/mamdr_ps.dir/ps/worker.cc.o"
+  "CMakeFiles/mamdr_ps.dir/ps/worker.cc.o.d"
+  "libmamdr_ps.a"
+  "libmamdr_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_serve.dir/serve/recommender.cc.o"
+  "CMakeFiles/mamdr_serve.dir/serve/recommender.cc.o.d"
+  "libmamdr_serve.a"
+  "libmamdr_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/mamdr_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/mamdr_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/mamdr_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "libmamdr_tensor.a"
+  "libmamdr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

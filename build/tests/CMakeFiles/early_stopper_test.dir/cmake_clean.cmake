@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_stopper_test.dir/early_stopper_test.cc.o"
+  "CMakeFiles/early_stopper_test.dir/early_stopper_test.cc.o.d"
+  "early_stopper_test"
+  "early_stopper_test.pdb"
+  "early_stopper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stopper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

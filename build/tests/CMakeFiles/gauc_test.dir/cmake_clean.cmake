@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauc_test.dir/gauc_test.cc.o"
+  "CMakeFiles/gauc_test.dir/gauc_test.cc.o.d"
+  "gauc_test"
+  "gauc_test.pdb"
+  "gauc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

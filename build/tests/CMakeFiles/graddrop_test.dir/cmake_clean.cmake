@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graddrop_test.dir/graddrop_test.cc.o"
+  "CMakeFiles/graddrop_test.dir/graddrop_test.cc.o.d"
+  "graddrop_test"
+  "graddrop_test.pdb"
+  "graddrop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graddrop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_internals_test.dir/model_internals_test.cc.o"
+  "CMakeFiles/model_internals_test.dir/model_internals_test.cc.o.d"
+  "model_internals_test"
+  "model_internals_test.pdb"
+  "model_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

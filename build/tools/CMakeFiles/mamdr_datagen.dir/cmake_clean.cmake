@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_datagen.dir/mamdr_datagen.cc.o"
+  "CMakeFiles/mamdr_datagen.dir/mamdr_datagen.cc.o.d"
+  "mamdr_datagen"
+  "mamdr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

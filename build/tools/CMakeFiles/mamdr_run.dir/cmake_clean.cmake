@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mamdr_run.dir/mamdr_run.cc.o"
+  "CMakeFiles/mamdr_run.dir/mamdr_run.cc.o.d"
+  "mamdr_run"
+  "mamdr_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mamdr_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
