@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/parallel_for.h"
+
 namespace mamdr {
 
 Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
@@ -61,6 +63,14 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void ApplyGlobalFlags(const FlagParser& flags) {
+  int64_t threads = flags.GetInt("kernel-threads", 0);
+  if (flags.Has("kernel_threads")) {
+    threads = flags.GetInt("kernel_threads", threads);
+  }
+  SetKernelThreads(threads);
 }
 
 std::vector<std::string> FlagParser::Unrecognized() const {

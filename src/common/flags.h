@@ -40,6 +40,12 @@ class FlagParser {
   mutable std::set<std::string> queried_;
 };
 
+/// Applies process-wide flags shared by every CLI tool and bench. Currently:
+///   --kernel-threads N   kernel pool size (0 = hardware_concurrency,
+///                        1 = serial kernels; also accepts
+///                        --kernel_threads). See common/parallel_for.h.
+void ApplyGlobalFlags(const FlagParser& flags);
+
 }  // namespace mamdr
 
 #endif  // MAMDR_COMMON_FLAGS_H_

@@ -1,0 +1,126 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace {
+
+int64_t ResolveThreads(int64_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+std::mutex g_pool_mu;
+int64_t g_requested_threads = 0;  // 0 = auto; guarded by g_pool_mu.
+std::shared_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu.
+
+// Lock-free mirror of ResolveThreads(g_requested_threads) so the inline
+// fast path of ParallelFor never takes the pool mutex.
+std::atomic<int64_t> g_resolved_threads{ResolveThreads(0)};
+
+// Set while a thread is executing a ParallelFor chunk; nested ParallelFor
+// calls (e.g. a matmul inside a parallel domain evaluation) run inline
+// instead of blocking on the pool that is running them.
+thread_local bool t_in_kernel_chunk = false;
+
+struct ChunkScope {
+  ChunkScope() : prev(t_in_kernel_chunk) { t_in_kernel_chunk = true; }
+  ~ChunkScope() { t_in_kernel_chunk = prev; }
+  bool prev;
+};
+
+}  // namespace
+
+void SetKernelThreads(int64_t n) {
+  MAMDR_CHECK_GE(n, 0);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = n;
+  const int64_t resolved = ResolveThreads(n);
+  g_resolved_threads.store(resolved, std::memory_order_relaxed);
+  if (g_pool && static_cast<int64_t>(g_pool->num_threads()) != resolved) {
+    g_pool.reset();  // rebuilt lazily at the next parallel call
+  }
+}
+
+int64_t KernelThreads() {
+  return g_resolved_threads.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<ThreadPool> KernelPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int64_t n = ResolveThreads(g_requested_threads);
+  if (n <= 1) return nullptr;
+  if (!g_pool) g_pool = std::make_shared<ThreadPool>(static_cast<size_t>(n));
+  return g_pool;
+}
+
+namespace detail {
+
+bool ShouldSerialize(int64_t total, int64_t grain) {
+  MAMDR_CHECK_GT(grain, 0);
+  return t_in_kernel_chunk || total <= grain || KernelThreads() <= 1;
+}
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  std::shared_ptr<ThreadPool> pool = KernelPool();
+  const int64_t total = end - begin;
+  if (!pool) {
+    ChunkScope scope;
+    fn(begin, end);
+    return;
+  }
+  int64_t chunks = total / grain;
+  const int64_t threads = static_cast<int64_t>(pool->num_threads());
+  if (chunks > threads) chunks = threads;
+  if (chunks < 1) chunks = 1;
+
+  // Per-call completion latch: concurrent ParallelFor calls may share the
+  // pool, so waiting on pool->Wait() would over-wait (or race on rethrow).
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t remaining;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = chunks;
+
+  const int64_t base = total / chunks;
+  const int64_t extra = total % chunks;
+  int64_t chunk_begin = begin;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t chunk_end = chunk_begin + base + (c < extra ? 1 : 0);
+    pool->Submit([state, &fn, chunk_begin, chunk_end] {
+      ChunkScope scope;
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->remaining;
+      }
+      state->cv.notify_one();
+    });
+    chunk_begin = chunk_end;
+  }
+  MAMDR_CHECK_EQ(chunk_begin, end);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->remaining == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace detail
+}  // namespace mamdr

@@ -32,6 +32,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,12 +51,24 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
-    {
+    // Scope guard: the decrement must run even when the task throws,
+    // otherwise in_flight_ never reaches zero and Wait() blocks forever.
+    struct InFlightGuard {
+      ThreadPool* pool;
+      ~InFlightGuard() {
+        {
+          std::lock_guard<std::mutex> lock(pool->mu_);
+          --pool->in_flight_;
+        }
+        pool->cv_done_.notify_all();
+      }
+    } guard{this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
+      if (!first_error_) first_error_ = std::current_exception();
     }
-    cv_done_.notify_all();
   }
 }
 

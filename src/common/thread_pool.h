@@ -4,6 +4,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -12,7 +13,10 @@
 namespace mamdr {
 
 /// Simple FIFO thread pool. Submit() enqueues a task; Wait() blocks until
-/// all submitted tasks finished. Destruction joins the workers.
+/// all submitted tasks finished. A task that throws does not wedge the
+/// pool: the first exception is captured and rethrown from the next Wait()
+/// call (later exceptions from the same batch are dropped). Destruction
+/// joins the workers.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -23,7 +27,8 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
-  /// Block until the queue is drained and no task is running.
+  /// Block until the queue is drained and no task is running. Rethrows the
+  /// first exception thrown by a task since the previous Wait(), if any.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
@@ -38,6 +43,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace mamdr

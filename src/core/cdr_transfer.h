@@ -26,6 +26,7 @@ class CdrTransfer : public Framework {
   void TrainEpoch() override;
   std::string name() const override { return "CDR-Transfer"; }
   metrics::ScoreFn Scorer() override;
+  bool ScorerIsThreadSafe() const override { return false; }
 
  private:
   std::vector<std::vector<Tensor>> per_domain_params_;

@@ -27,6 +27,8 @@ class AlternateFinetune : public Framework {
   /// the epoch counter) to produce the per-domain snapshots.
   std::string name() const override { return "Alternate+Finetune"; }
   metrics::ScoreFn Scorer() override;
+  // Thread-safe only until FinalizeFinetune() swaps in per-domain params.
+  bool ScorerIsThreadSafe() const override { return !finetuned_; }
 
  private:
   void FinalizeFinetune();
@@ -45,6 +47,7 @@ class Separate : public Framework {
   void TrainEpoch() override;
   std::string name() const override { return "Separate"; }
   metrics::ScoreFn Scorer() override;
+  bool ScorerIsThreadSafe() const override { return false; }
 
  private:
   std::vector<std::vector<Tensor>> per_domain_params_;

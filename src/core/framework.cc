@@ -40,7 +40,10 @@ metrics::ScoreFn Framework::Scorer() {
 }
 
 std::vector<double> Framework::Evaluate(metrics::Split split) {
-  return metrics::EvaluateAllDomains(*dataset_, split, Scorer());
+  const metrics::EvalParallel policy = ScorerIsThreadSafe()
+                                           ? metrics::EvalParallel::kParallel
+                                           : metrics::EvalParallel::kSerial;
+  return metrics::EvaluateAllDomains(*dataset_, split, Scorer(), policy);
 }
 
 std::vector<double> Framework::EvaluateTest() {

@@ -74,7 +74,14 @@ class Framework {
   /// to install the right parameters per domain.
   virtual metrics::ScoreFn Scorer();
 
-  /// Per-domain AUC of any split with this framework's Scorer().
+  /// Whether Scorer() may be called concurrently from multiple threads.
+  /// The default scorer is a pure forward pass and is; overrides that
+  /// install per-domain parameters into the shared model must return false
+  /// so Evaluate() falls back to serial per-domain evaluation.
+  virtual bool ScorerIsThreadSafe() const { return true; }
+
+  /// Per-domain AUC of any split with this framework's Scorer(). Domains
+  /// are evaluated on the kernel pool when ScorerIsThreadSafe().
   std::vector<double> Evaluate(metrics::Split split);
 
   /// Per-domain test AUC with this framework's Scorer().

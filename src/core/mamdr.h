@@ -22,6 +22,7 @@ class Mamdr : public Framework {
   void TrainEpoch() override;
   std::string name() const override { return "MAMDR"; }
   metrics::ScoreFn Scorer() override;
+  bool ScorerIsThreadSafe() const override { return false; }
 
   SharedSpecificStore* store() { return store_.get(); }
 

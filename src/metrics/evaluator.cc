@@ -1,6 +1,7 @@
 #include "metrics/evaluator.h"
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "metrics/auc.h"
 
 namespace mamdr {
@@ -33,11 +34,20 @@ double EvaluateDomain(const data::MultiDomainDataset& ds, int64_t domain,
 }
 
 std::vector<double> EvaluateAllDomains(const data::MultiDomainDataset& ds,
-                                       Split split, const ScoreFn& score) {
-  std::vector<double> out;
-  out.reserve(static_cast<size_t>(ds.num_domains()));
-  for (int64_t d = 0; d < ds.num_domains(); ++d) {
-    out.push_back(EvaluateDomain(ds, d, split, score));
+                                       Split split, const ScoreFn& score,
+                                       EvalParallel parallel) {
+  std::vector<double> out(static_cast<size_t>(ds.num_domains()), 0.0);
+  if (parallel == EvalParallel::kParallel) {
+    double* po = out.data();
+    ParallelFor(0, ds.num_domains(), 1, [&](int64_t d0, int64_t d1) {
+      for (int64_t d = d0; d < d1; ++d) {
+        po[d] = EvaluateDomain(ds, d, split, score);
+      }
+    });
+  } else {
+    for (int64_t d = 0; d < ds.num_domains(); ++d) {
+      out[static_cast<size_t>(d)] = EvaluateDomain(ds, d, split, score);
+    }
   }
   return out;
 }

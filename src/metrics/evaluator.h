@@ -24,9 +24,18 @@ enum class Split { kTrain, kVal, kTest };
 double EvaluateDomain(const data::MultiDomainDataset& ds, int64_t domain,
                       Split split, const ScoreFn& score);
 
+/// Whether EvaluateAllDomains may fan domains out over the kernel pool.
+/// Only pass kParallel when `score` is safe to call concurrently from
+/// multiple threads (a pure forward pass is; scorers that install
+/// per-domain parameters into a shared model, like MAMDR composites, are
+/// not). Each domain writes a disjoint output slot and the per-domain
+/// computation is unchanged, so the result is identical either way.
+enum class EvalParallel { kSerial, kParallel };
+
 /// AUC of every domain's split.
-std::vector<double> EvaluateAllDomains(const data::MultiDomainDataset& ds,
-                                       Split split, const ScoreFn& score);
+std::vector<double> EvaluateAllDomains(
+    const data::MultiDomainDataset& ds, Split split, const ScoreFn& score,
+    EvalParallel parallel = EvalParallel::kSerial);
 
 /// Mean of EvaluateAllDomains.
 double AverageAuc(const data::MultiDomainDataset& ds, Split split,

@@ -1,6 +1,9 @@
 #include "tensor/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/parallel_for.h"
 
 namespace mamdr {
 namespace ops {
@@ -11,9 +14,127 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
 }
 
+// Cache-block sizes for the matmul kernels: a kBlockK-deep panel of B is
+// streamed from L2 and reused across a kBlockM-row block of A, while
+// kTileJ C elements live in registers for a whole k-block.
+constexpr int64_t kBlockM = 32;
+constexpr int64_t kBlockK = 64;
+constexpr int64_t kTileJ = 32;
+
+// Minimum elements per chunk for parallel elementwise kernels; below this
+// the fork/join overhead outweighs the loop.
+constexpr int64_t kElemGrain = 1 << 15;
+
+// Row grain for the matmul kernels: aim for >= ~64K multiply-adds per
+// chunk so tiny matrices stay serial.
+int64_t RowGrain(int64_t work_per_row) {
+  if (work_per_row <= 0) return 1;
+  return std::max<int64_t>(1, (1 << 16) / work_per_row);
+}
+
+// Register-tiled core shared by MatMul and MatMulTransA: accumulates
+// C[r0:r1, :] += A' * B where element (i, kk) of A' sits at
+// pa[i * sa_i + kk * sa_k] (sa_i=k, sa_k=1 for MatMul; sa_i=1, sa_k=m for
+// the transposed-A product). kTileJ C elements stay in registers for a
+// whole k-block — one C load/store per kBlockK multiply-adds — and every
+// C element receives its k-terms in the same ascending order the serial
+// seed kernel used: blocking changes memory traffic, not float rounding.
+void MatMulCore(const float* pa, int64_t sa_i, int64_t sa_k, const float* pb,
+                float* pc, int64_t k, int64_t n, int64_t r0, int64_t r1) {
+  for (int64_t ib = r0; ib < r1; ib += kBlockM) {
+    const int64_t imax = std::min(ib + kBlockM, r1);
+    for (int64_t kb = 0; kb < k; kb += kBlockK) {
+      const int64_t kmax = std::min(kb + kBlockK, k);
+      for (int64_t i = ib; i < imax; ++i) {
+        const float* abase = pa + i * sa_i;
+        float* crow = pc + i * n;
+        int64_t j = 0;
+        for (; j + kTileJ <= n; j += kTileJ) {
+          float acc[kTileJ];
+          float* cseg = crow + j;
+          for (int64_t t = 0; t < kTileJ; ++t) acc[t] = cseg[t];
+          for (int64_t kk = kb; kk < kmax; ++kk) {
+            const float av = abase[kk * sa_k];
+            const float* brow = pb + kk * n + j;
+            for (int64_t t = 0; t < kTileJ; ++t) acc[t] += av * brow[t];
+          }
+          for (int64_t t = 0; t < kTileJ; ++t) cseg[t] = acc[t];
+        }
+        if (j < n) {  // ragged tail of the C row
+          const int64_t jlen = n - j;
+          float acc[kTileJ];
+          float* cseg = crow + j;
+          for (int64_t t = 0; t < jlen; ++t) acc[t] = cseg[t];
+          for (int64_t kk = kb; kk < kmax; ++kk) {
+            const float av = abase[kk * sa_k];
+            const float* brow = pb + kk * n + j;
+            for (int64_t t = 0; t < jlen; ++t) acc[t] += av * brow[t];
+          }
+          for (int64_t t = 0; t < jlen; ++t) cseg[t] = acc[t];
+        }
+      }
+    }
+  }
+}
+
+// Small-shape path for A * B^T where B is [n, k]: each output is a dot
+// product. Four output columns share one pass over A's row; each
+// accumulator runs over kk sequentially, matching the serial kernel's
+// rounding exactly. (Large shapes transpose B once and use MatMulCore —
+// dot products over rows of B cannot be vectorized without reassociating
+// the sum, a transposed copy can.)
+void MatMulTransBRange(const float* pa, const float* pb, float* pc, int64_t k,
+                       int64_t n, int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j] = acc0;
+      crow[j + 1] = acc1;
+      crow[j + 2] = acc2;
+      crow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MAMDR_CHECK_EQ(a.rank(), 2);
+  MAMDR_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  MAMDR_CHECK_EQ(k, b.rows());
+  Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t r0, int64_t r1) {
+    MatMulCore(pa, /*sa_i=*/k, /*sa_k=*/1, pb, pc, k, n, r0, r1);
+  });
+  return c;
+}
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
   MAMDR_CHECK_EQ(a.rank(), 2);
   MAMDR_CHECK_EQ(b.rank(), 2);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -41,19 +162,13 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t k = a.rows(), m = a.cols(), n = b.cols();
   MAMDR_CHECK_EQ(k, b.rows());
   Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t r0, int64_t r1) {
+    MatMulCore(pa, /*sa_i=*/1, /*sa_k=*/m, pb, pc, k, n, r0, r1);
+  });
   return c;
 }
 
@@ -63,18 +178,26 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   MAMDR_CHECK_EQ(k, b.cols());
   Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
+  // For all but tiny outputs, transposing B once (O(nk)) is far cheaper
+  // than the un-vectorizable row-by-row dot products (O(2mnk)), and the
+  // per-element accumulation order is identical either way.
+  if (m >= 8) {
+    const Tensor bt = Transpose(b);  // [k, n]
+    const float* pa = a.data();
+    const float* pb = bt.data();
+    float* pc = c.data();
+    ParallelFor(0, m, RowGrain(k * n), [=](int64_t r0, int64_t r1) {
+      MatMulCore(pa, /*sa_i=*/k, /*sa_k=*/1, pb, pc, k, n, r0, r1);
+    });
+    return c;
+  }
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
-    }
-  }
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t r0, int64_t r1) {
+    MatMulTransBRange(pa, pb, pc, k, n, r0, r1);
+  });
   return c;
 }
 
@@ -82,8 +205,19 @@ Tensor Transpose(const Tensor& a) {
   MAMDR_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor t({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  const float* pa = a.data();
+  float* pt = t.data();
+  // 32x32 tiles: both the source rows and the destination rows of a tile
+  // stay in L1 while it is flipped.
+  constexpr int64_t kTile = 32;
+  for (int64_t ib = 0; ib < m; ib += kTile) {
+    const int64_t imax = std::min(ib + kTile, m);
+    for (int64_t jb = 0; jb < n; jb += kTile) {
+      const int64_t jmax = std::min(jb + kTile, n);
+      for (int64_t i = ib; i < imax; ++i) {
+        for (int64_t j = jb; j < jmax; ++j) pt[j * m + i] = pa[i * n + j];
+      }
+    }
   }
   return t;
 }
@@ -91,28 +225,48 @@ Tensor Transpose(const Tensor& a) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + b.at(i);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = pa[i] + pb[i];
+  });
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) - b.at(i);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = pa[i] - pb[i];
+  });
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) * b.at(i);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = pa[i] * pb[i];
+  });
   return out;
 }
 
 Tensor Axpy(const Tensor& a, const Tensor& b, float alpha) {
   CheckSameShape(a, b);
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + alpha * b.at(i);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = pa[i] + alpha * pb[i];
+  });
   return out;
 }
 
@@ -120,25 +274,35 @@ void AxpyInPlace(Tensor* y, const Tensor& x, float alpha) {
   CheckSameShape(*y, x);
   float* py = y->data();
   const float* px = x.data();
-  const int64_t n = y->size();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  ParallelFor(0, y->size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) py[i] += alpha * px[i];
+  });
 }
 
 void ScaleInPlace(Tensor* y, float alpha) {
   float* py = y->data();
-  const int64_t n = y->size();
-  for (int64_t i = 0; i < n; ++i) py[i] *= alpha;
+  ParallelFor(0, y->size(), kElemGrain, [=](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) py[i] *= alpha;
+  });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) + s;
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+  });
   return out;
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out.at(i) = a.at(i) * s;
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
   return out;
 }
 
@@ -147,10 +311,16 @@ Tensor AddRowVector(const Tensor& a, const Tensor& row) {
   const int64_t m = a.rows(), n = a.cols();
   MAMDR_CHECK_EQ(row.size(), n);
   Tensor out(a.shape());
+  const float* pa = a.data();
   const float* pr = row.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) + pr[j];
-  }
+  float* po = out.data();
+  ParallelFor(0, m, RowGrain(n), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = pa + i * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] = arow[j] + pr[j];
+    }
+  });
   return out;
 }
 
@@ -159,36 +329,57 @@ Tensor MulColVector(const Tensor& a, const Tensor& col) {
   const int64_t m = a.rows(), n = a.cols();
   MAMDR_CHECK_EQ(col.size(), m);
   Tensor out(a.shape());
+  const float* pa = a.data();
   const float* pc = col.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) * pc[i];
-  }
+  float* po = out.data();
+  ParallelFor(0, m, RowGrain(n), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = pa + i * n;
+      float* orow = po + i * n;
+      const float cv = pc[i];
+      for (int64_t j = 0; j < n; ++j) orow[j] = arow[j] * cv;
+    }
+  });
   return out;
 }
 
+// Reductions stay serial: their summation order is part of the numerical
+// contract (bit-identical results at any thread count), and they are
+// memory-bound anyway. Raw-pointer loops let the compiler vectorize the
+// independent per-column accumulations.
 Tensor SumRows(const Tensor& a) {
   MAMDR_CHECK_EQ(a.rank(), 2);
-  Tensor out({1, a.cols()});
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < a.cols(); ++j) out.at(0, j) += a.at(i, j);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out({1, n});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    for (int64_t j = 0; j < n; ++j) po[j] += arow[j];
   }
   return out;
 }
 
 Tensor SumCols(const Tensor& a) {
   MAMDR_CHECK_EQ(a.rank(), 2);
-  Tensor out({a.rows(), 1});
-  for (int64_t i = 0; i < a.rows(); ++i) {
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out({m, 1});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
     float acc = 0.0f;
-    for (int64_t j = 0; j < a.cols(); ++j) acc += a.at(i, j);
-    out.at(i, 0) = acc;
+    for (int64_t j = 0; j < n; ++j) acc += arow[j];
+    po[i] = acc;
   }
   return out;
 }
 
 float Sum(const Tensor& a) {
+  const float* pa = a.data();
+  const int64_t n = a.size();
   double acc = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) acc += a.at(i);
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
   return static_cast<float>(acc);
 }
 
@@ -197,22 +388,28 @@ float Dot(const Tensor& a, const Tensor& b) {
   double acc = 0.0;
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.size(); ++i) acc += double(pa[i]) * double(pb[i]);
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) acc += double(pa[i]) * double(pb[i]);
   return static_cast<float>(acc);
 }
 
 float SquaredNorm(const Tensor& a) { return Dot(a, a); }
 
 float MaxAbs(const Tensor& a) {
+  const float* pa = a.data();
+  const int64_t n = a.size();
   float m = 0.0f;
-  for (int64_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a.at(i)));
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i]));
   return m;
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol) {
   if (a.shape() != b.shape()) return false;
-  for (int64_t i = 0; i < a.size(); ++i) {
-    if (std::fabs(a.at(i) - b.at(i)) > atol) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol) return false;
   }
   return true;
 }

@@ -8,8 +8,16 @@
 namespace mamdr {
 namespace ops {
 
-/// C = A * B for 2-D matrices ([m,k] x [k,n] -> [m,n]).
+/// C = A * B for 2-D matrices ([m,k] x [k,n] -> [m,n]). Cache-blocked and
+/// row-parallel over the kernel pool (see common/parallel_for.h); each
+/// worker owns disjoint output rows and accumulates k-terms in the same
+/// ascending order as the serial kernel, so results are bit-identical for
+/// any thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// The original single-threaded unblocked MatMul (the growth seed's
+/// kernel). Kept as the baseline for bench_kernels and equivalence tests.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
 
 /// C = A^T * B ([k,m]^T x [k,n] -> [m,n]) without materializing A^T.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);

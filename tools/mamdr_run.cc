@@ -47,6 +47,8 @@ void PrintUsage(const char* prog) {
       "  --seed N           model/training seed (default 7)\n"
       "  --patience N       stop when val AUC stalls for N epochs "
       "(0 = off)\n"
+      "  --kernel-threads N kernel pool size (0 = hardware_concurrency, "
+      "1 = serial)\n"
       "  --save-model PATH  write a parameter checkpoint after training\n"
       "  --topk-eval        also report HitRate@10 / NDCG@10 per domain\n"
       "  --stats            print dataset statistics before training\n"
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 0;
   }
+  ApplyGlobalFlags(flags);
   if (flags.GetBool("list", false)) {
     std::printf("models:     %s\n",
                 Join(models::KnownModels(), ", ").c_str());
