@@ -109,12 +109,12 @@ Var SoftmaxRows(const Var& a) {
       std::move(out), {a},
       [an, ov](const Tensor& g) {
         // dL/dx_ij = s_ij * (g_ij - sum_k g_ik s_ik).
-        const int64_t m = ov.rows(), n = ov.cols();
-        Tensor gi({m, n});
-        for (int64_t i = 0; i < m; ++i) {
+        const int64_t rows = ov.rows(), cols = ov.cols();
+        Tensor gi({rows, cols});
+        for (int64_t i = 0; i < rows; ++i) {
           float dot = 0.0f;
-          for (int64_t k = 0; k < n; ++k) dot += g.at(i, k) * ov.at(i, k);
-          for (int64_t j = 0; j < n; ++j) {
+          for (int64_t k = 0; k < cols; ++k) dot += g.at(i, k) * ov.at(i, k);
+          for (int64_t j = 0; j < cols; ++j) {
             gi.at(i, j) = ov.at(i, j) * (g.at(i, j) - dot);
           }
         }

@@ -31,15 +31,15 @@ Var ConcatCols(const std::vector<Var>& parts) {
   return MakeOpNode(
       std::move(out), parts,
       [nodes, widths, m](const Tensor& g) {
-        int64_t off = 0;
+        int64_t col0 = 0;
         for (size_t k = 0; k < nodes.size(); ++k) {
-          const int64_t n = widths[k];
-          Tensor gi({m, n});
+          const int64_t w = widths[k];
+          Tensor gi({m, w});
           for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) gi.at(i, j) = g.at(i, off + j);
+            for (int64_t j = 0; j < w; ++j) gi.at(i, j) = g.at(i, col0 + j);
           }
           AccumGrad(nodes[k], gi);
-          off += n;
+          col0 += w;
         }
       },
       "concat_cols");

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "autograd/tape.h"
+#include "common/check.h"
 #include "tensor/tensor_ops.h"
 
 namespace mamdr {
@@ -65,9 +66,15 @@ void Var::Backward() const {
   // so visiting in descending id propagates gradients correctly.
   std::sort(order.begin(), order.end(),
             [](const auto& a, const auto& b) { return a->id > b->id; });
+  MAMDR_DCHECK_ALL_FINITE(node_->value.data(), node_->value.size());
   AccumGrad(node_, Tensor(node_->value.shape(), 1.0f));
   for (const auto& n : order) {
-    if (n->backward && !n->grad.empty()) n->backward(n->grad);
+    if (n->backward && !n->grad.empty()) {
+      // Tape invariant: a node's accumulated gradient has its value's shape
+      // (AccumGrad enforces per-accumulation; this pins the replay).
+      MAMDR_DCHECK(n->grad.shape() == n->value.shape());
+      n->backward(n->grad);
+    }
   }
 }
 
@@ -99,6 +106,7 @@ void AccumGrad(const std::shared_ptr<Node>& node, const Tensor& g) {
   MAMDR_CHECK(g.shape() == node->value.shape())
       << "grad shape " << ShapeToString(g.shape()) << " vs value "
       << ShapeToString(node->value.shape());
+  MAMDR_DCHECK_ALL_FINITE(g.data(), g.size());
   if (node->grad.empty()) node->grad = Tensor(node->value.shape());
   ops::AxpyInPlace(&node->grad, g, 1.0f);
 }

@@ -1,0 +1,71 @@
+// Debug-build invariant checks (MAMDR_DCHECK*) on top of logging.h's
+// always-on MAMDR_CHECK* family.
+//
+// MAMDR_CHECK fires in every build and is for invariants whose violation
+// means memory corruption or a programming error a release binary must not
+// run past. MAMDR_DCHECK compiles to nothing in optimized builds (the
+// condition is type-checked but never evaluated) and is for hot-path
+// invariants — per-element bounds, tape/shape consistency, finiteness —
+// that would be too expensive to verify in production. DCHECKs are active
+// when NDEBUG is unset (Debug builds) or when MAMDR_DEBUG_CHECKS is
+// defined; the MAMDR_SANITIZE CMake configurations define the latter so the
+// sanitizer CI matrix runs with every invariant armed.
+#ifndef MAMDR_COMMON_CHECK_H_
+#define MAMDR_COMMON_CHECK_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+#if !defined(NDEBUG) || defined(MAMDR_DEBUG_CHECKS)
+#define MAMDR_DCHECK_IS_ON() 1
+#else
+#define MAMDR_DCHECK_IS_ON() 0
+#endif
+
+#if MAMDR_DCHECK_IS_ON()
+
+#define MAMDR_DCHECK(cond) MAMDR_CHECK(cond)
+#define MAMDR_DCHECK_EQ(a, b) MAMDR_CHECK_EQ(a, b)
+#define MAMDR_DCHECK_NE(a, b) MAMDR_CHECK_NE(a, b)
+#define MAMDR_DCHECK_LT(a, b) MAMDR_CHECK_LT(a, b)
+#define MAMDR_DCHECK_LE(a, b) MAMDR_CHECK_LE(a, b)
+#define MAMDR_DCHECK_GT(a, b) MAMDR_CHECK_GT(a, b)
+#define MAMDR_DCHECK_GE(a, b) MAMDR_CHECK_GE(a, b)
+
+#else  // !MAMDR_DCHECK_IS_ON()
+
+// `true || (cond)` keeps the condition compiled (so DCHECK-only variables
+// are still odr-used and expressions stay type-checked) while letting the
+// optimizer delete the whole statement.
+#define MAMDR_DCHECK(cond) MAMDR_CHECK(true || (cond))
+#define MAMDR_DCHECK_EQ(a, b) MAMDR_DCHECK((a) == (b))
+#define MAMDR_DCHECK_NE(a, b) MAMDR_DCHECK((a) != (b))
+#define MAMDR_DCHECK_LT(a, b) MAMDR_DCHECK((a) < (b))
+#define MAMDR_DCHECK_LE(a, b) MAMDR_DCHECK((a) <= (b))
+#define MAMDR_DCHECK_GT(a, b) MAMDR_DCHECK((a) > (b))
+#define MAMDR_DCHECK_GE(a, b) MAMDR_DCHECK((a) >= (b))
+
+#endif  // MAMDR_DCHECK_IS_ON()
+
+namespace mamdr {
+namespace check_internal {
+
+/// True when every element of [p, p + n) is finite (no NaN / ±inf).
+inline bool AllFinite(const float* p, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace check_internal
+}  // namespace mamdr
+
+/// Debug check that a float buffer contains no NaN / inf. Used by the
+/// autograd engine to pin down where non-finite values enter a training run.
+#define MAMDR_DCHECK_ALL_FINITE(ptr, n) \
+  MAMDR_DCHECK(::mamdr::check_internal::AllFinite((ptr), (n)))
+
+#endif  // MAMDR_COMMON_CHECK_H_

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/parallel_for.h"
@@ -65,12 +66,35 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
-void ApplyGlobalFlags(const FlagParser& flags) {
-  int64_t threads = flags.GetInt("kernel-threads", 0);
-  if (flags.Has("kernel_threads")) {
-    threads = flags.GetInt("kernel_threads", threads);
+Result<int64_t> FlagParser::GetIntChecked(const std::string& name,
+                                          int64_t default_value) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + ": '" + text +
+                                   "' is not an integer");
   }
-  SetKernelThreads(threads);
+  return static_cast<int64_t>(parsed);
+}
+
+Status ApplyGlobalFlags(const FlagParser& flags) {
+  auto threads = flags.GetIntChecked("kernel-threads", 0);
+  if (threads.ok() && flags.Has("kernel_threads")) {
+    threads = flags.GetIntChecked("kernel_threads", threads.value());
+  }
+  MAMDR_RETURN_NOT_OK(threads.status());
+  if (threads.value() < 0) {
+    return Status::InvalidArgument(
+        "--kernel-threads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(threads.value()));
+  }
+  SetKernelThreads(threads.value());
+  return Status::OK();
 }
 
 std::vector<std::string> FlagParser::Unrecognized() const {

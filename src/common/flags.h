@@ -28,6 +28,12 @@ class FlagParser {
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 
+  /// Like GetInt, but rejects values that are not a full decimal integer
+  /// (e.g. "--threads=abc" or "--threads=3x") with InvalidArgument instead
+  /// of silently returning a partial parse / zero.
+  Result<int64_t> GetIntChecked(const std::string& name,
+                                int64_t default_value) const;
+
   /// Flags present on the command line but never queried by a Get*/Has call.
   std::vector<std::string> Unrecognized() const;
 
@@ -44,7 +50,9 @@ class FlagParser {
 ///   --kernel-threads N   kernel pool size (0 = hardware_concurrency,
 ///                        1 = serial kernels; also accepts
 ///                        --kernel_threads). See common/parallel_for.h.
-void ApplyGlobalFlags(const FlagParser& flags);
+/// Returns InvalidArgument (and changes nothing) when a value is negative
+/// or not an integer.
+[[nodiscard]] Status ApplyGlobalFlags(const FlagParser& flags);
 
 }  // namespace mamdr
 

@@ -1,0 +1,79 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// std::mutex carries no thread-safety attributes, so clang's -Wthread-safety
+// cannot reason about it. These thin wrappers add the capability annotations
+// (and nothing else): Mutex is a std::mutex declared as a capability,
+// MutexLock is the scoped guard, and CondVar adapts std::condition_variable
+// to a Mutex that is already held through a MutexLock. All locking code in
+// the library goes through these types so the analysis sees every
+// acquisition.
+#ifndef MAMDR_COMMON_MUTEX_H_
+#define MAMDR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mamdr {
+
+class MAMDR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MAMDR_ACQUIRE() { mu_.lock(); }
+  void Unlock() MAMDR_RELEASE() { mu_.unlock(); }
+  bool TryLock() MAMDR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard: locks at construction, unlocks at destruction.
+class MAMDR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MAMDR_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MAMDR_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with a Mutex held via MutexLock. Wait()
+/// atomically releases the mutex while blocked and reacquires it before
+/// returning, exactly like std::condition_variable — callers keep the usual
+///   while (!predicate) cv.Wait(&mu);
+/// shape, which the analysis fully understands (the capability is held
+/// around the whole loop).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) MAMDR_REQUIRES(mu) MAMDR_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the externally-held lock for the duration of the wait, then
+    // hand ownership back (release()) so the caller's guard still unlocks.
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mamdr
+
+#endif  // MAMDR_COMMON_MUTEX_H_

@@ -1,13 +1,12 @@
 #include "common/parallel_for.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mamdr {
 namespace {
@@ -18,9 +17,9 @@ int64_t ResolveThreads(int64_t requested) {
   return hw == 0 ? 1 : static_cast<int64_t>(hw);
 }
 
-std::mutex g_pool_mu;
-int64_t g_requested_threads = 0;  // 0 = auto; guarded by g_pool_mu.
-std::shared_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu.
+Mutex g_pool_mu;
+int64_t g_requested_threads MAMDR_GUARDED_BY(g_pool_mu) = 0;  // 0 = auto
+std::shared_ptr<ThreadPool> g_pool MAMDR_GUARDED_BY(g_pool_mu);
 
 // Lock-free mirror of ResolveThreads(g_requested_threads) so the inline
 // fast path of ParallelFor never takes the pool mutex.
@@ -41,7 +40,7 @@ struct ChunkScope {
 
 void SetKernelThreads(int64_t n) {
   MAMDR_CHECK_GE(n, 0);
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(&g_pool_mu);
   g_requested_threads = n;
   const int64_t resolved = ResolveThreads(n);
   g_resolved_threads.store(resolved, std::memory_order_relaxed);
@@ -55,7 +54,7 @@ int64_t KernelThreads() {
 }
 
 std::shared_ptr<ThreadPool> KernelPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(&g_pool_mu);
   const int64_t n = ResolveThreads(g_requested_threads);
   if (n <= 1) return nullptr;
   if (!g_pool) g_pool = std::make_shared<ThreadPool>(static_cast<size_t>(n));
@@ -86,13 +85,16 @@ void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
   // Per-call completion latch: concurrent ParallelFor calls may share the
   // pool, so waiting on pool->Wait() would over-wait (or race on rethrow).
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    int64_t remaining;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    int64_t remaining MAMDR_GUARDED_BY(mu) = 0;
+    std::exception_ptr error MAMDR_GUARDED_BY(mu);
   };
   auto state = std::make_shared<State>();
-  state->remaining = chunks;
+  {
+    MutexLock lock(&state->mu);
+    state->remaining = chunks;
+  }
 
   const int64_t base = total / chunks;
   const int64_t extra = total % chunks;
@@ -104,22 +106,26 @@ void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
       try {
         fn(chunk_begin, chunk_end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         if (!state->error) state->error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         --state->remaining;
       }
-      state->cv.notify_one();
+      state->cv.NotifyOne();
     });
     chunk_begin = chunk_end;
   }
   MAMDR_CHECK_EQ(chunk_begin, end);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->remaining == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr err;
+  {
+    MutexLock lock(&state->mu);
+    while (state->remaining != 0) state->cv.Wait(&state->mu);
+    err = state->error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace detail

@@ -1,0 +1,65 @@
+// Clang thread-safety-analysis attribute macros (no-ops on other compilers).
+//
+// Annotate data members with MAMDR_GUARDED_BY(mu) and functions with
+// MAMDR_REQUIRES / MAMDR_EXCLUDES so `clang -Wthread-safety` statically
+// proves the locking discipline. See common/mutex.h for the annotated
+// Mutex/MutexLock/CondVar types these macros are designed around; the CI
+// thread-safety job builds with -Wthread-safety -Werror.
+#ifndef MAMDR_COMMON_THREAD_ANNOTATIONS_H_
+#define MAMDR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex wrapper).
+#define MAMDR_CAPABILITY(x) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define MAMDR_SCOPED_CAPABILITY \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define MAMDR_GUARDED_BY(x) MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define MAMDR_PT_GUARDED_BY(x) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function may only be called while holding the capability (exclusively).
+#define MAMDR_REQUIRES(...) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while NOT holding the capability.
+#define MAMDR_EXCLUDES(...) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define MAMDR_ACQUIRE(...) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define MAMDR_RELEASE(...) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability if (and only if) the returned bool is
+/// equal to the first argument.
+#define MAMDR_TRY_ACQUIRE(...) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (for accessors that
+/// expose an inner mutex).
+#define MAMDR_RETURN_CAPABILITY(x) \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only for trusted
+/// low-level code (e.g. condition-variable internals) whose contract is
+/// still expressed via MAMDR_REQUIRES on the declaration.
+#define MAMDR_NO_THREAD_SAFETY_ANALYSIS \
+  MAMDR_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // MAMDR_COMMON_THREAD_ANNOTATIONS_H_

@@ -14,38 +14,38 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  {
+    MutexLock lock(&mu_);
+    while (!queue_.empty() || in_flight_ != 0) cv_done_.Wait(&mu_);
+    err = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(&mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,16 +57,16 @@ void ThreadPool::WorkerLoop() {
       ThreadPool* pool;
       ~InFlightGuard() {
         {
-          std::lock_guard<std::mutex> lock(pool->mu_);
+          MutexLock lock(&pool->mu_);
           --pool->in_flight_;
         }
-        pool->cv_done_.notify_all();
+        pool->cv_done_.NotifyAll();
       }
     } guard{this};
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }

@@ -2,13 +2,14 @@
 #ifndef MAMDR_COMMON_THREAD_POOL_H_
 #define MAMDR_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mamdr {
 
@@ -25,25 +26,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MAMDR_EXCLUDES(mu_);
 
   /// Block until the queue is drained and no task is running. Rethrows the
   /// first exception thrown by a task since the previous Wait(), if any.
-  void Wait();
+  void Wait() MAMDR_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MAMDR_EXCLUDES(mu_);
 
-  std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;  // immutable after construction
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::deque<std::function<void()>> queue_ MAMDR_GUARDED_BY(mu_);
+  size_t in_flight_ MAMDR_GUARDED_BY(mu_) = 0;
+  bool stop_ MAMDR_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ MAMDR_GUARDED_BY(mu_);
 };
 
 }  // namespace mamdr

@@ -45,13 +45,18 @@ Status ReadSplit(const fs::path& path, std::vector<Interaction>* split) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     Interaction it;
+    // Parse into genuine long long locals: int64_t is `long` on LP64, so
+    // aiming %lld at an int64_t* through a cast is a strict-aliasing
+    // violation even though the sizes happen to match.
+    long long user = 0, item = 0;
     int label = 0;
-    if (std::sscanf(line.c_str(), "%lld,%lld,%d",
-                    reinterpret_cast<long long*>(&it.user),
-                    reinterpret_cast<long long*>(&it.item), &label) != 3) {
+    if (std::sscanf(line.c_str(), "%lld,%lld,%d", &user, &item, &label) !=
+        3) {
       return Status::InvalidArgument("bad row '" + line + "' in " +
                                      path.string());
     }
+    it.user = static_cast<int64_t>(user);
+    it.item = static_cast<int64_t>(item);
     it.label = static_cast<float>(label);
     split->push_back(it);
   }

@@ -10,8 +10,9 @@ Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
   const float limit =
       std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
   Tensor t({fan_in, fan_out});
+  float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) {
-    t.at(i) = static_cast<float>(rng->Uniform(-limit, limit));
+    p[i] = static_cast<float>(rng->Uniform(-limit, limit));
   }
   return t;
 }
@@ -19,16 +20,18 @@ Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
 Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng* rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
   Tensor t({fan_in, fan_out});
+  float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) {
-    t.at(i) = static_cast<float>(rng->Normal(0.0, stddev));
+    p[i] = static_cast<float>(rng->Normal(0.0, stddev));
   }
   return t;
 }
 
 Tensor Normal(const Shape& shape, float stddev, Rng* rng) {
   Tensor t(shape);
+  float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) {
-    t.at(i) = static_cast<float>(rng->Normal(0.0, stddev));
+    p[i] = static_cast<float>(rng->Normal(0.0, stddev));
   }
   return t;
 }

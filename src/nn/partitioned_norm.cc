@@ -37,18 +37,21 @@ Var PartitionedNorm::Forward(const Var& x, int64_t domain,
   Tensor mean({1, features_});
   Tensor var({1, features_});
   if (ctx.training && b > 1) {
+    const float* px = x.value().data();
+    float* pmean = mean.data();
+    float* pvar = var.data();
     for (int64_t j = 0; j < features_; ++j) {
       double m = 0.0;
-      for (int64_t i = 0; i < b; ++i) m += x.value().at(i, j);
+      for (int64_t i = 0; i < b; ++i) m += px[i * features_ + j];
       m /= b;
       double v = 0.0;
       for (int64_t i = 0; i < b; ++i) {
-        const double d = x.value().at(i, j) - m;
+        const double d = px[i * features_ + j] - m;
         v += d * d;
       }
       v /= b;
-      mean.at(0, j) = static_cast<float>(m);
-      var.at(0, j) = static_cast<float>(v);
+      pmean[j] = static_cast<float>(m);
+      pvar[j] = static_cast<float>(v);
     }
     // Update moving statistics for this domain.
     auto& mm = moving_mean_[static_cast<size_t>(domain)];
@@ -71,8 +74,12 @@ Var PartitionedNorm::Forward(const Var& x, int64_t domain,
   // x_hat = (x - mean) / sqrt(var + eps), statistics treated as constants.
   Tensor neg_mean = ops::MulScalar(mean, -1.0f);
   Tensor inv_std({1, features_});
-  for (int64_t j = 0; j < features_; ++j) {
-    inv_std.at(0, j) = 1.0f / std::sqrt(var.at(0, j) + eps_);
+  {
+    const float* pv = var.data();
+    float* pi = inv_std.data();
+    for (int64_t j = 0; j < features_; ++j) {
+      pi[j] = 1.0f / std::sqrt(pv[j] + eps_);
+    }
   }
   Var centered = autograd::AddRowVector(x, Var(neg_mean));
   // Row-vector scaling: multiply each column j by inv_std[j]. Reuse
@@ -82,9 +89,10 @@ Var PartitionedNorm::Forward(const Var& x, int64_t domain,
       centered,
       Var(Tensor(centered.value().shape(), [&] {
         std::vector<float> buf(static_cast<size_t>(b * features_));
+        const float* pi = inv_std.data();
         for (int64_t i = 0; i < b; ++i) {
           for (int64_t j = 0; j < features_; ++j) {
-            buf[static_cast<size_t>(i * features_ + j)] = inv_std.at(0, j);
+            buf[static_cast<size_t>(i * features_ + j)] = pi[j];
           }
         }
         return buf;

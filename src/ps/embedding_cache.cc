@@ -7,6 +7,7 @@ namespace ps {
 
 std::vector<int64_t> EmbeddingCache::TouchAndGetMisses(
     const std::vector<int64_t>& rows) {
+  MutexLock lock(&mu_);
   std::vector<int64_t> misses;
   for (int64_t r : rows) {
     if (cached_.insert(r).second) {
@@ -23,12 +24,16 @@ std::vector<int64_t> EmbeddingCache::TouchAndGetMisses(
 }
 
 std::vector<int64_t> EmbeddingCache::CachedRows() const {
+  MutexLock lock(&mu_);
   std::vector<int64_t> out(cached_.begin(), cached_.end());
   std::sort(out.begin(), out.end());
   return out;
 }
 
-void EmbeddingCache::Clear() { cached_.clear(); }
+void EmbeddingCache::Clear() {
+  MutexLock lock(&mu_);
+  cached_.clear();
+}
 
 }  // namespace ps
 }  // namespace mamdr

@@ -5,12 +5,18 @@
 // worker's own table holds the latest local value); missing rows are pulled
 // fresh from the PS — "query the latest embedding on demand" — and then
 // cached. Clear() empties the cache between outer epochs.
+//
+// Thread-safe: every method locks internally, so a cache can be inspected
+// (stats, Contains) while its owning worker trains on another thread.
 #ifndef MAMDR_PS_EMBEDDING_CACHE_H_
 #define MAMDR_PS_EMBEDDING_CACHE_H_
 
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mamdr {
 namespace ps {
@@ -25,21 +31,32 @@ class EmbeddingCache {
   /// Partition `rows` into already-cached (hits) and missing; missing rows
   /// are inserted (the caller is expected to pull them). Returns the missing
   /// rows, deduplicated.
-  std::vector<int64_t> TouchAndGetMisses(const std::vector<int64_t>& rows);
+  std::vector<int64_t> TouchAndGetMisses(const std::vector<int64_t>& rows)
+      MAMDR_EXCLUDES(mu_);
 
   /// All rows currently cached (the rows whose deltas must be pushed).
-  std::vector<int64_t> CachedRows() const;
+  std::vector<int64_t> CachedRows() const MAMDR_EXCLUDES(mu_);
 
-  bool Contains(int64_t row) const { return cached_.count(row) > 0; }
-  int64_t size() const { return static_cast<int64_t>(cached_.size()); }
+  bool Contains(int64_t row) const MAMDR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cached_.count(row) > 0;
+  }
+  int64_t size() const MAMDR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return static_cast<int64_t>(cached_.size());
+  }
 
-  void Clear();
+  void Clear() MAMDR_EXCLUDES(mu_);
 
-  const CacheStats& stats() const { return stats_; }
+  CacheStats stats() const MAMDR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
-  std::unordered_set<int64_t> cached_;
-  CacheStats stats_;
+  mutable Mutex mu_;
+  std::unordered_set<int64_t> cached_ MAMDR_GUARDED_BY(mu_);
+  CacheStats stats_ MAMDR_GUARDED_BY(mu_);
 };
 
 }  // namespace ps

@@ -15,7 +15,7 @@ ParameterServer::ParameterServer(std::vector<Tensor> params,
 }
 
 void ParameterServer::PullDense(std::vector<Tensor>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAMDR_CHECK_EQ(out->size(), params_.size());
   ++stats_.pull_ops;
   for (size_t i = 0; i < params_.size(); ++i) {
@@ -28,7 +28,7 @@ void ParameterServer::PullDense(std::vector<Tensor>* out) {
 
 void ParameterServer::PullRows(int64_t idx, const std::vector<int64_t>& rows,
                                Tensor* into) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Tensor& table = params_[static_cast<size_t>(idx)];
   MAMDR_CHECK(is_embedding_[static_cast<size_t>(idx)]);
   MAMDR_CHECK(into->shape() == table.shape());
@@ -46,7 +46,7 @@ void ParameterServer::PullRows(int64_t idx, const std::vector<int64_t>& rows,
 }
 
 void ParameterServer::PullFullTable(int64_t idx, Tensor* into) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Tensor& table = params_[static_cast<size_t>(idx)];
   MAMDR_CHECK(into->shape() == table.shape());
   ++stats_.pull_ops;
@@ -57,7 +57,7 @@ void ParameterServer::PullFullTable(int64_t idx, Tensor* into) {
 
 void ParameterServer::PushDenseDelta(const std::vector<Tensor>& delta,
                                      float beta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAMDR_CHECK_EQ(delta.size(), params_.size());
   ++stats_.push_ops;
   for (size_t i = 0; i < params_.size(); ++i) {
@@ -71,7 +71,7 @@ void ParameterServer::PushDenseDelta(const std::vector<Tensor>& delta,
 void ParameterServer::PushRowDeltas(int64_t idx,
                                     const std::vector<int64_t>& rows,
                                     const Tensor& delta, float beta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Tensor& table = params_[static_cast<size_t>(idx)];
   MAMDR_CHECK(is_embedding_[static_cast<size_t>(idx)]);
   MAMDR_CHECK(delta.shape() == table.shape());
@@ -88,7 +88,7 @@ void ParameterServer::PushRowDeltas(int64_t idx,
 }
 
 std::vector<Tensor> ParameterServer::SnapshotAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Tensor> out;
   out.reserve(params_.size());
   for (const auto& p : params_) out.push_back(p.Clone());
@@ -96,12 +96,12 @@ std::vector<Tensor> ParameterServer::SnapshotAll() {
 }
 
 PsStats ParameterServer::stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void ParameterServer::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = PsStats{};
 }
 

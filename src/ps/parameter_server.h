@@ -10,9 +10,10 @@
 #define MAMDR_PS_PARAMETER_SERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "tensor/tensor.h"
 
 namespace mamdr {
@@ -42,35 +43,37 @@ class ParameterServer {
   }
 
   /// Copy every dense (non-embedding) tensor into `out` (same layout).
-  void PullDense(std::vector<Tensor>* out);
+  void PullDense(std::vector<Tensor>* out) MAMDR_EXCLUDES(mu_);
 
   /// Copy the given rows of embedding parameter `idx` into the matching rows
   /// of `into` (a full-size local table).
-  void PullRows(int64_t idx, const std::vector<int64_t>& rows, Tensor* into);
+  void PullRows(int64_t idx, const std::vector<int64_t>& rows, Tensor* into)
+      MAMDR_EXCLUDES(mu_);
 
   /// Copy a whole embedding table (the no-cache baseline pulls all rows it
   /// needs every batch; pulling the full table is the epoch-start variant).
-  void PullFullTable(int64_t idx, Tensor* into);
+  void PullFullTable(int64_t idx, Tensor* into) MAMDR_EXCLUDES(mu_);
 
   /// Θ_dense ← Θ_dense + beta * delta_dense  (Eq. 3 on the server).
-  void PushDenseDelta(const std::vector<Tensor>& delta, float beta);
+  void PushDenseDelta(const std::vector<Tensor>& delta, float beta)
+      MAMDR_EXCLUDES(mu_);
 
   /// Embedding rows: Θ[rows] += beta * delta[rows] (delta is full-size,
   /// only `rows` are read — models a sparse push).
   void PushRowDeltas(int64_t idx, const std::vector<int64_t>& rows,
-                     const Tensor& delta, float beta);
+                     const Tensor& delta, float beta) MAMDR_EXCLUDES(mu_);
 
   /// Snapshot of all parameters (for evaluation / checkpointing).
-  std::vector<Tensor> SnapshotAll();
+  std::vector<Tensor> SnapshotAll() MAMDR_EXCLUDES(mu_);
 
-  PsStats stats();
-  void ResetStats();
+  PsStats stats() MAMDR_EXCLUDES(mu_);
+  void ResetStats() MAMDR_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::vector<Tensor> params_;
-  std::vector<bool> is_embedding_;
-  PsStats stats_;
+  Mutex mu_;
+  std::vector<Tensor> params_ MAMDR_GUARDED_BY(mu_);
+  std::vector<bool> is_embedding_;  // immutable after construction
+  PsStats stats_ MAMDR_GUARDED_BY(mu_);
 };
 
 }  // namespace ps

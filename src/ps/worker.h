@@ -13,6 +13,7 @@
 #ifndef MAMDR_PS_WORKER_H_
 #define MAMDR_PS_WORKER_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -78,7 +79,9 @@ class Worker {
   WorkerConfig config_;
   RowExtractor extractor_;
   std::vector<autograd::Var> params_;
-  std::vector<EmbeddingCache> caches_;     // one per parameter index
+  // One per parameter index. deque, not vector: EmbeddingCache owns a Mutex
+  // and is immovable, and deque constructs elements in place.
+  std::deque<EmbeddingCache> caches_;
   std::vector<Tensor> static_cache_;       // Θ at pull time (per parameter)
   std::unique_ptr<core::SharedSpecificStore> store_;  // θi for owned domains
   std::unique_ptr<core::DomainRegularization> dr_;

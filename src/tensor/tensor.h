@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace mamdr {
@@ -64,19 +65,29 @@ class Tensor {
   const float* data() const { return data_ ? data_->data() : nullptr; }
 
   float& at(int64_t i) {
+    MAMDR_DCHECK_GE(i, 0);
     MAMDR_CHECK_LT(i, size());
     return (*data_)[static_cast<size_t>(i)];
   }
   float at(int64_t i) const {
+    MAMDR_DCHECK_GE(i, 0);
     MAMDR_CHECK_LT(i, size());
     return (*data_)[static_cast<size_t>(i)];
   }
   float& at(int64_t r, int64_t c) {
     MAMDR_CHECK_EQ(rank(), 2);
+    MAMDR_DCHECK_GE(r, 0);
+    MAMDR_DCHECK_LT(r, rows());
+    MAMDR_DCHECK_GE(c, 0);
+    MAMDR_DCHECK_LT(c, cols());
     return (*data_)[static_cast<size_t>(r * cols() + c)];
   }
   float at(int64_t r, int64_t c) const {
     MAMDR_CHECK_EQ(rank(), 2);
+    MAMDR_DCHECK_GE(r, 0);
+    MAMDR_DCHECK_LT(r, rows());
+    MAMDR_DCHECK_GE(c, 0);
+    MAMDR_DCHECK_LT(c, cols());
     return (*data_)[static_cast<size_t>(r * cols() + c)];
   }
 

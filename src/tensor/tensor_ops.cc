@@ -378,18 +378,23 @@ Tensor SumCols(const Tensor& a) {
 float Sum(const Tensor& a) {
   const float* pa = a.data();
   const int64_t n = a.size();
-  double acc = 0.0;
+  // Full-tensor scalar reductions accumulate in 64-bit on purpose: they are
+  // serial (summation order is part of the numerical contract) and feed loss
+  // / norm values where float32 cancellation is observable.
+  double acc = 0.0;  // mamdr-lint: allow(kernel-double)
   for (int64_t i = 0; i < n; ++i) acc += pa[i];
   return static_cast<float>(acc);
 }
 
 float Dot(const Tensor& a, const Tensor& b) {
   MAMDR_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
+  double acc = 0.0;  // mamdr-lint: allow(kernel-double)
   const float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) acc += double(pa[i]) * double(pb[i]);
+  for (int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
+  }
   return static_cast<float>(acc);
 }
 

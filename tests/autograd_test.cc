@@ -190,8 +190,8 @@ INSTANTIATE_TEST_SUITE_P(
         OpCase{"reshape", [](const Var& a, const Var&) {
                  return WeightedSum(Reshape(Square(a), {3, 2}));
                }}),
-    [](const ::testing::TestParamInfo<OpCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<OpCase>& pinfo) {
+      return pinfo.param.name;
     });
 
 TEST(EmbeddingLookupTest, ForwardGathersRows) {

@@ -173,8 +173,8 @@ INSTANTIATE_TEST_SUITE_P(
         NamedConfigCase{"Taobao20", TaobaoLike(20, 0.3, 3), 20},
         NamedConfigCase{"Taobao30", TaobaoLike(30, 0.3, 3), 30},
         NamedConfigCase{"Industry", IndustryLike(16, 0.5, 3), 16}),
-    [](const ::testing::TestParamInfo<NamedConfigCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<NamedConfigCase>& pinfo) {
+      return pinfo.param.label;
     });
 
 TEST(NamedConfigTest, Amazon13HasSparseDomains) {

@@ -66,5 +66,41 @@ TEST(FlagsTest, ProgramName) {
   EXPECT_EQ(flags.program(), "mamdr_run");
 }
 
+TEST(FlagsTest, GetIntCheckedParsesAndRejects) {
+  auto flags = MustParse({"prog", "--good=42", "--neg=-7", "--bad=abc",
+                          "--partial=3x", "--empty="});
+  auto good = flags.GetIntChecked("good", 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  auto neg = flags.GetIntChecked("neg", 0);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg.value(), -7);
+  EXPECT_EQ(flags.GetIntChecked("absent", 9).value(), 9);
+  EXPECT_EQ(flags.GetIntChecked("bad", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags.GetIntChecked("partial", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags.GetIntChecked("empty", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, ApplyGlobalFlagsRejectsBadKernelThreads) {
+  {
+    auto flags = MustParse({"prog", "--kernel-threads=-2"});
+    const Status s = ApplyGlobalFlags(flags);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto flags = MustParse({"prog", "--kernel-threads=garbage"});
+    const Status s = ApplyGlobalFlags(flags);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto flags = MustParse({"prog", "--kernel_threads=oops"});
+    const Status s = ApplyGlobalFlags(flags);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+}
+
 }  // namespace
 }  // namespace mamdr

@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("Alternate", "Alternate+Finetune", "Separate",
                       "Weighted Loss", "PCGrad", "MAML", "Reptile", "MLDG",
                       "DN", "DR", "MAMDR", "CDR-Transfer", "GradDrop"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
       for (char& c : name) {
         if (c == '+' || c == ' ' || c == '-') c = '_';
       }

@@ -176,12 +176,12 @@ TEST(KernelThreadsTest, FlagControlsThreadCount) {
   const char* argv[] = {"prog", "--kernel-threads=3"};
   auto flags = FlagParser::Parse(2, argv);
   ASSERT_TRUE(flags.ok());
-  ApplyGlobalFlags(flags.value());
+  ASSERT_TRUE(ApplyGlobalFlags(flags.value()).ok());
   EXPECT_EQ(KernelThreads(), 3);
   const char* argv2[] = {"prog", "--kernel_threads=2"};
   auto flags2 = FlagParser::Parse(2, argv2);
   ASSERT_TRUE(flags2.ok());
-  ApplyGlobalFlags(flags2.value());
+  ASSERT_TRUE(ApplyGlobalFlags(flags2.value()).ok());
   EXPECT_EQ(KernelThreads(), 2);
   SetKernelThreads(1);
   EXPECT_EQ(KernelThreads(), 1);

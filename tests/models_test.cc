@@ -112,8 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllStructures, ModelStructureTest,
     ::testing::Values("MLP", "WDL", "NeurFM", "DeepFM", "AutoInt",
                       "Shared-Bottom", "MMOE", "CGC", "PLE", "STAR", "RAW"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }
@@ -148,8 +148,8 @@ TEST_P(MultiDomainModelTest, DomainsProduceDifferentScoresAfterTraining) {
 INSTANTIATE_TEST_SUITE_P(
     MultiDomainStructures, MultiDomainModelTest,
     ::testing::Values("Shared-Bottom", "MMOE", "CGC", "PLE", "STAR", "RAW"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      std::string name = pinfo.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

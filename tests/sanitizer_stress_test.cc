@@ -1,0 +1,174 @@
+// Concurrency stress tests, written for the sanitizer CI matrix (tier1
+// label): TSan proves the ThreadPool / ParallelFor / evaluator fan-out free
+// of data races, ASan+UBSan catch task-lifetime and index-math bugs. The
+// tests also run (fast) in plain builds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+#include "metrics/evaluator.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace {
+
+/// Restores the process-wide kernel thread count on scope exit so stress
+/// tests don't leak their setting into other tests.
+struct KernelThreadsGuard {
+  KernelThreadsGuard() : prev(KernelThreads()) {}
+  ~KernelThreadsGuard() { SetKernelThreads(prev); }
+  int64_t prev;
+};
+
+TEST(ThreadPoolStressTest, ConstructDestroyUnderLoad) {
+  // The destructor must drain queued tasks and join cleanly even when
+  // Wait() is never called — TSan verifies the shutdown handshake.
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> count{0};
+    {
+      ThreadPool pool(3);
+      for (int i = 0; i < 64; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+      if (round % 2 == 0) pool.Wait();
+    }
+    EXPECT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 200;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStressTest, ThrowingTasksDoNotWedgeThePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran, i] {
+        ran.fetch_add(1);
+        if (i % 4 == 0) throw std::runtime_error("task failure");
+      });
+    }
+    EXPECT_THROW(pool.Wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);
+    pool.Wait();  // error slot was consumed; pool still usable
+  }
+}
+
+TEST(ParallelForStressTest, ConcurrentCallersShareTheKernelPool) {
+  KernelThreadsGuard guard;
+  SetKernelThreads(3);
+  constexpr int kCallers = 4;
+  constexpr int64_t kRange = 4096;
+  std::vector<std::vector<int64_t>> results(
+      kCallers, std::vector<int64_t>(static_cast<size_t>(kRange), 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&results, t] {
+      for (int rep = 0; rep < 10; ++rep) {
+        int64_t* out = results[static_cast<size_t>(t)].data();
+        ParallelFor(0, kRange, 64, [out](int64_t s, int64_t e) {
+          for (int64_t i = s; i < e; ++i) out[i] += i;
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& r : results) {
+    for (int64_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(r[static_cast<size_t>(i)], 10 * i);
+    }
+  }
+}
+
+TEST(ParallelForStressTest, ExceptionFromOneCallerDoesNotPoisonOthers) {
+  KernelThreadsGuard guard;
+  SetKernelThreads(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    EXPECT_THROW(
+        ParallelFor(0, 256, 1,
+                    [](int64_t s, int64_t) {
+                      if (s >= 0) throw std::runtime_error("chunk failure");
+                    }),
+        std::runtime_error);
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 256, 1, [&sum](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) sum.fetch_add(1);
+    });
+    EXPECT_EQ(sum.load(), 256);
+  }
+}
+
+TEST(ParallelForStressTest, ParallelEvaluateAllDomainsWithNestedKernels) {
+  KernelThreadsGuard guard;
+  SetKernelThreads(3);
+  const auto ds = mamdr::testing::TinyDataset(4);
+  // The scorer runs a real tensor kernel per call, so the domain-level
+  // ParallelFor nests kernel-level ParallelFor calls on the same pool.
+  metrics::ScoreFn score = [](const data::Batch& batch, int64_t domain) {
+    const int64_t n = batch.size();
+    Tensor a({n, 8}), b({8, 1});
+    float* pa = a.data();
+    for (int64_t i = 0; i < a.size(); ++i) {
+      pa[i] = static_cast<float>((i + domain) % 7) * 0.1f;
+    }
+    b.Fill(0.25f);
+    const Tensor logits = ops::MatMul(a, b);
+    const float* pl = logits.data();
+    return std::vector<float>(pl, pl + n);
+  };
+  const auto serial = metrics::EvaluateAllDomains(
+      ds, metrics::Split::kTest, score, metrics::EvalParallel::kSerial);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto parallel = metrics::EvaluateAllDomains(
+        ds, metrics::Split::kTest, score, metrics::EvalParallel::kParallel);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t d = 0; d < serial.size(); ++d) {
+      EXPECT_DOUBLE_EQ(parallel[d], serial[d]);
+    }
+  }
+}
+
+TEST(ParallelForStressTest, PoolRebuildBetweenThreadCounts) {
+  KernelThreadsGuard guard;
+  // Exercises SetKernelThreads' teardown/lazy-rebuild path back to back;
+  // under ASan this catches use-after-free of retired pools (shared_ptr
+  // keeps a retired pool alive until its last chunk finished).
+  for (int64_t n : {2, 3, 1, 4, 2}) {
+    SetKernelThreads(n);
+    std::vector<float> out(2048, 0.0f);
+    float* po = out.data();
+    ParallelFor(0, 2048, 64, [po](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) po[i] = static_cast<float>(i);
+    });
+    EXPECT_EQ(out[2047], 2047.0f);
+  }
+}
+
+}  // namespace
+}  // namespace mamdr

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the MAMDR tree.
+
+Rules (suppress a finding by appending ``// mamdr-lint: allow(<rule>)`` to
+the offending line):
+
+  kernel-at       ``.at(`` in src/tensor or src/nn. Bounds-checked element
+                  access in kernel code hides O(n) checks in hot loops; use
+                  raw ``data()`` pointers (the public kernel entry points
+                  validate shapes once).
+  kernel-double   a ``double`` variable/parameter declaration in src/tensor.
+                  Kernels accumulate in float32 so blocked/parallel paths
+                  stay bit-identical to the serial contract; widening an
+                  accumulator silently changes results across code paths.
+                  Intentional high-precision serial reductions carry the
+                  allow comment.
+  raw-rand        ``rand()`` / ``srand()`` outside tools/ and bench/. All
+                  library randomness flows through mamdr::Rng so a seed
+                  reproduces identical runs on every platform.
+  iostream-print  ``std::cout`` / ``std::cerr`` outside tools/ and bench/.
+                  Library code reports through MAMDR_LOG / Status, never by
+                  printing.
+  header-guard    headers must use the canonical include guard
+                  ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
+                  leading ``src/`` dropped), not ``#pragma once``.
+
+Usage:
+  tools/mamdr_lint.py [--root DIR] [files...]
+
+With no file arguments, lints every C++ source under src/, tests/, bench/,
+tools/, and examples/. Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import List, NamedTuple, Optional
+
+LINT_DIRS = ("src", "tests", "bench", "tools", "examples")
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+ALLOW_RE = re.compile(r"//\s*mamdr-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+AT_CALL_RE = re.compile(r"\.at\s*\(")
+DOUBLE_DECL_RE = re.compile(r"\b(?:long\s+)?double\s+[A-Za-z_]\w*")
+RAW_RAND_RE = re.compile(r"\b(?:std::)?s?rand\s*\(")
+IOSTREAM_PRINT_RE = re.compile(r"\bstd::c(?:out|err)\b")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based; 0 = whole file
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _allowed_rules(line: str) -> List[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return []
+    return [r.strip() for r in m.group(1).split(",")]
+
+
+def _strip_line_comment(line: str) -> str:
+    """Drop // comments so prose about forbidden constructs doesn't trip."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def expected_guard(rel_path: str) -> str:
+    """Canonical include guard for a header at repo-relative `rel_path`."""
+    parts = rel_path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"MAMDR_{stem.upper()}_"
+
+
+def _in_dir(rel_path: str, *dirs: str) -> bool:
+    return any(rel_path.startswith(d + "/") for d in dirs)
+
+
+def _check_header_guard(rel_path: str, lines: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    guard = expected_guard(rel_path)
+    ifndef: Optional[str] = None
+    define: Optional[str] = None
+    ifndef_line = 0
+    for i, line in enumerate(lines, start=1):
+        if PRAGMA_ONCE_RE.match(line):
+            if "header-guard" not in _allowed_rules(line):
+                findings.append(
+                    Finding(rel_path, i, "header-guard",
+                            f"use the include guard {guard} instead of "
+                            "#pragma once"))
+            return findings
+        m = IFNDEF_RE.match(line)
+        if m and ifndef is None:
+            ifndef = m.group(1)
+            ifndef_line = i
+            continue
+        m = DEFINE_RE.match(line)
+        if m and ifndef is not None and define is None:
+            define = m.group(1)
+            break
+    if ifndef is None:
+        findings.append(
+            Finding(rel_path, 1, "header-guard",
+                    f"missing include guard (expected {guard})"))
+        return findings
+    if ifndef != guard:
+        findings.append(
+            Finding(rel_path, ifndef_line, "header-guard",
+                    f"include guard is {ifndef}, expected {guard}"))
+    elif define != guard:
+        findings.append(
+            Finding(rel_path, ifndef_line, "header-guard",
+                    f"#ifndef {guard} is not followed by #define {guard}"))
+    return findings
+
+
+def lint_text(rel_path: str, text: str) -> List[Finding]:
+    """Lint one file's contents; `rel_path` is repo-relative with '/'."""
+    rel_path = rel_path.replace("\\", "/")
+    lines = text.splitlines()
+    findings: List[Finding] = []
+
+    hot_kernel_file = _in_dir(rel_path, "src/tensor", "src/nn")
+    kernel_float_file = _in_dir(rel_path, "src/tensor")
+    library_file = not _in_dir(rel_path, "tools", "bench")
+
+    for i, raw_line in enumerate(lines, start=1):
+        allowed = _allowed_rules(raw_line)
+        line = _strip_line_comment(raw_line)
+
+        if hot_kernel_file and "kernel-at" not in allowed:
+            if AT_CALL_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "kernel-at",
+                            "bounds-checked .at() in kernel code; use raw "
+                            "data() pointers"))
+        if kernel_float_file and "kernel-double" not in allowed:
+            if DOUBLE_DECL_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "kernel-double",
+                            "double accumulator in a float32 kernel changes "
+                            "results across code paths"))
+        if library_file and "raw-rand" not in allowed:
+            if RAW_RAND_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "raw-rand",
+                            "use mamdr::Rng instead of rand()/srand() for "
+                            "reproducible runs"))
+        if library_file and "iostream-print" not in allowed:
+            if IOSTREAM_PRINT_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "iostream-print",
+                            "library code must not print to std::cout/cerr; "
+                            "use MAMDR_LOG or return Status"))
+
+    if rel_path.endswith((".h", ".hpp")):
+        findings.extend(_check_header_guard(rel_path, lines))
+    return findings
+
+
+def lint_file(root: str, rel_path: str) -> List[Finding]:
+    full = os.path.join(root, rel_path)
+    try:
+        with open(full, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(rel_path, 0, "io-error", str(e))]
+    return lint_text(rel_path, text)
+
+
+def discover_files(root: str) -> List[str]:
+    out: List[str] = []
+    for top in LINT_DIRS:
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    out.append(rel.replace(os.sep, "/"))
+    return sorted(out)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("files", nargs="*",
+                        help="repo-relative files to lint (default: all)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(root):
+        print(f"mamdr_lint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    files = args.files or discover_files(root)
+    findings: List[Finding] = []
+    for rel in files:
+        findings.extend(lint_file(root, rel))
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"mamdr_lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"mamdr_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mamdr_lint.py rule matching.
+
+Each rule gets a positive fixture (must flag) and a negative fixture (must
+stay silent), plus suppression-comment and scoping cases.
+
+Run directly (``python3 tools/mamdr_lint_test.py``) or via ctest.
+"""
+
+import sys
+import unittest
+
+import mamdr_lint
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class KernelAtRule(unittest.TestCase):
+    def test_flags_at_in_tensor_kernel(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor_ops.cc",
+            "void F(Tensor* t) {\n  t->x = y.at(3);\n}\n")
+        self.assertIn("kernel-at", rules(findings))
+        self.assertEqual(findings[0].line, 2)
+
+    def test_flags_at_in_nn(self):
+        findings = mamdr_lint.lint_text(
+            "src/nn/linear.cc", "float v = w.at(0, 1);\n")
+        self.assertIn("kernel-at", rules(findings))
+
+    def test_ignores_at_outside_kernel_dirs(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/mamdr.cc", "float v = w.at(0, 1);\n")
+        self.assertNotIn("kernel-at", rules(findings))
+
+    def test_ignores_at_in_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor.cc", "// prefer data() over x.at(i)\n")
+        self.assertNotIn("kernel-at", rules(findings))
+
+    def test_suppression_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor.cc",
+            "float v = x.at(1);  // mamdr-lint: allow(kernel-at)\n")
+        self.assertNotIn("kernel-at", rules(findings))
+
+    def test_method_definition_is_not_a_call(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor.h",
+            "#ifndef MAMDR_TENSOR_TENSOR_H_\n"
+            "#define MAMDR_TENSOR_TENSOR_H_\n"
+            "float& at(int64_t i);\n"
+            "#endif  // MAMDR_TENSOR_TENSOR_H_\n")
+        self.assertEqual(rules(findings), [])
+
+
+class KernelDoubleRule(unittest.TestCase):
+    def test_flags_double_accumulator_in_tensor(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor_ops.cc", "  double acc = 0.0;\n")
+        self.assertEqual(rules(findings), ["kernel-double"])
+
+    def test_flags_long_double(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor_ops.cc", "  long double acc = 0.0;\n")
+        self.assertEqual(rules(findings), ["kernel-double"])
+
+    def test_static_cast_to_double_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor_ops.cc",
+            "  acc += static_cast<double>(p[i]);\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_double_outside_tensor_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/metrics/auc.cc", "  double acc = 0.0;\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/tensor/tensor_ops.cc",
+            "  double acc = 0.0;  // mamdr-lint: allow(kernel-double)\n")
+        self.assertEqual(rules(findings), [])
+
+
+class RawRandRule(unittest.TestCase):
+    def test_flags_rand_in_src(self):
+        findings = mamdr_lint.lint_text(
+            "src/data/synthetic.cc", "  int r = rand() % 10;\n")
+        self.assertEqual(rules(findings), ["raw-rand"])
+
+    def test_flags_srand_and_std_rand(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/maml.cc", "srand(42);\nint x = std::rand();\n")
+        self.assertEqual(rules(findings), ["raw-rand", "raw-rand"])
+
+    def test_bench_and_tools_exempt(self):
+        for path in ("bench/bench_engine.cpp", "tools/mamdr_datagen.cc"):
+            findings = mamdr_lint.lint_text(path, "int r = rand();\n")
+            self.assertEqual(rules(findings), [], path)
+
+    def test_identifier_containing_rand_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/common/random.cc", "  float v = my_rand(x); Rng rng(3);\n")
+        self.assertEqual(rules(findings), [])
+
+
+class IostreamPrintRule(unittest.TestCase):
+    def test_flags_cout_in_src(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc", '  std::cout << "done";\n')
+        self.assertEqual(rules(findings), ["iostream-print"])
+
+    def test_flags_cerr_in_tests(self):
+        findings = mamdr_lint.lint_text(
+            "tests/foo_test.cc", "  std::cerr << x;\n")
+        self.assertEqual(rules(findings), ["iostream-print"])
+
+    def test_tools_exempt(self):
+        findings = mamdr_lint.lint_text(
+            "tools/mamdr_run.cc", "  std::cout << report;\n")
+        self.assertEqual(rules(findings), [])
+
+
+class HeaderGuardRule(unittest.TestCase):
+    GOOD = ("#ifndef MAMDR_COMMON_FLAGS_H_\n"
+            "#define MAMDR_COMMON_FLAGS_H_\n"
+            "int x;\n"
+            "#endif  // MAMDR_COMMON_FLAGS_H_\n")
+
+    def test_correct_guard_passes(self):
+        findings = mamdr_lint.lint_text("src/common/flags.h", self.GOOD)
+        self.assertEqual(rules(findings), [])
+
+    def test_src_prefix_is_dropped(self):
+        self.assertEqual(mamdr_lint.expected_guard("src/ps/worker.h"),
+                         "MAMDR_PS_WORKER_H_")
+        self.assertEqual(mamdr_lint.expected_guard("tests/test_util.h"),
+                         "MAMDR_TESTS_TEST_UTIL_H_")
+        self.assertEqual(mamdr_lint.expected_guard("bench/bench_util.h"),
+                         "MAMDR_BENCH_BENCH_UTIL_H_")
+
+    def test_wrong_guard_flagged(self):
+        text = self.GOOD.replace("MAMDR_COMMON_FLAGS_H_", "FLAGS_H")
+        findings = mamdr_lint.lint_text("src/common/flags.h", text)
+        self.assertEqual(rules(findings), ["header-guard"])
+
+    def test_missing_guard_flagged(self):
+        findings = mamdr_lint.lint_text("src/common/flags.h", "int x;\n")
+        self.assertEqual(rules(findings), ["header-guard"])
+
+    def test_pragma_once_flagged(self):
+        findings = mamdr_lint.lint_text(
+            "src/common/flags.h", "#pragma once\nint x;\n")
+        self.assertEqual(rules(findings), ["header-guard"])
+
+    def test_define_mismatch_flagged(self):
+        text = ("#ifndef MAMDR_COMMON_FLAGS_H_\n"
+                "#define MAMDR_COMMON_FLAGS_WRONG_\n"
+                "#endif\n")
+        findings = mamdr_lint.lint_text("src/common/flags.h", text)
+        self.assertEqual(rules(findings), ["header-guard"])
+
+    def test_cc_files_have_no_guard_requirement(self):
+        findings = mamdr_lint.lint_text("src/common/flags.cc", "int x;\n")
+        self.assertEqual(rules(findings), [])
+
+
+class TreeIntegration(unittest.TestCase):
+    def test_repository_is_clean(self):
+        root = mamdr_lint.os.path.dirname(
+            mamdr_lint.os.path.dirname(
+                mamdr_lint.os.path.abspath(mamdr_lint.__file__)))
+        findings = []
+        for rel in mamdr_lint.discover_files(root):
+            findings.extend(mamdr_lint.lint_file(root, rel))
+        self.assertEqual([f.render() for f in findings], [])
+
+    def test_discover_skips_non_cpp(self):
+        root = mamdr_lint.os.path.dirname(
+            mamdr_lint.os.path.dirname(
+                mamdr_lint.os.path.abspath(mamdr_lint.__file__)))
+        for rel in mamdr_lint.discover_files(root):
+            self.assertTrue(rel.endswith(mamdr_lint.CPP_EXTENSIONS), rel)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

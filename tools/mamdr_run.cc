@@ -97,7 +97,10 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 0;
   }
-  ApplyGlobalFlags(flags);
+  if (Status s = ApplyGlobalFlags(flags); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
   if (flags.GetBool("list", false)) {
     std::printf("models:     %s\n",
                 Join(models::KnownModels(), ", ").c_str());
