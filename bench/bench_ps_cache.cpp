@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/logging.h"
 #include "ps/distributed_mamdr.h"
 
 using namespace mamdr;
@@ -36,7 +37,7 @@ int main() {
         dc.model_name = "MLP";
         dc.train = bench::BenchTrainConfig(/*epochs=*/4, 3);
         ps::DistributedMamdr dist(mc, &ds, dc);
-        dist.Train();
+        MAMDR_CHECK(dist.Train().ok());
         const auto stats = dist.server()->stats();
         std::printf("%-8lld %-7s %-6s %12llu %12llu %10llu %10llu %8.4f\n",
                     static_cast<long long>(workers), cache ? "on" : "off",
@@ -59,7 +60,7 @@ int main() {
     dc.model_name = "MLP";
     dc.train = bench::BenchTrainConfig(/*epochs=*/4, 3);
     ps::DistributedMamdr dist(mc, &ds, dc);
-    dist.Train();
+    MAMDR_CHECK(dist.Train().ok());
     uint64_t hits = 0, misses = 0;
     for (int64_t p = 0; p < dist.server()->num_params(); ++p) {
       if (!dist.server()->is_embedding(p)) continue;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "data/synthetic.h"
+#include "common/logging.h"
 #include "ps/distributed_mamdr.h"
 
 using namespace mamdr;
@@ -49,7 +50,7 @@ int main() {
   std::printf("\n\n");
 
   for (int64_t e = 1; e <= dc.train.epochs; ++e) {
-    dist.TrainEpoch();
+    MAMDR_CHECK(dist.TrainEpoch().ok());
     if (e % 2 == 0) {
       std::printf("epoch %2lld  avg test AUC = %.4f\n",
                   static_cast<long long>(e), dist.AverageTestAuc());

@@ -1,90 +1,169 @@
 #include "checkpoint/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <unordered_map>
+
+#include "common/crc32.h"
+#include "common/logging.h"
 
 namespace mamdr {
 namespace checkpoint {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'A', 'M', 'D', 'R', 'C', 'K', 'P'};
-constexpr uint32_t kVersion = 1;
+// v2 appends a CRC-32 footer over every preceding byte and is written
+// atomically (tmp + rename); v1 files predate the integrity footer and are
+// rejected so a corrupted legacy file can't be silently accepted.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kFooterBytes = sizeof(uint32_t);
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void AppendPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
-}
+/// Bounds-checked forward reader over an in-memory checkpoint image.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
 
 }  // namespace
 
 Status SaveTensors(
     const std::vector<std::pair<std::string, Tensor>>& named_tensors,
     const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Internal("cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(named_tensors.size()));
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  AppendPod(&buf, kVersion);
+  AppendPod(&buf, static_cast<uint64_t>(named_tensors.size()));
   for (const auto& [name, tensor] : named_tensors) {
-    WritePod(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WritePod(out, static_cast<uint32_t>(tensor.rank()));
-    for (int64_t i = 0; i < tensor.rank(); ++i) WritePod(out, tensor.dim(i));
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+    AppendPod(&buf, static_cast<uint32_t>(name.size()));
+    buf.append(name);
+    AppendPod(&buf, static_cast<uint32_t>(tensor.rank()));
+    for (int64_t i = 0; i < tensor.rank(); ++i) AppendPod(&buf, tensor.dim(i));
+    buf.append(reinterpret_cast<const char*>(tensor.data()),
+               tensor.size() * sizeof(float));
   }
-  return out ? Status::OK() : Status::Internal("short write to " + path);
+  AppendPod(&buf, Crc32(buf.data(), buf.size()));
+
+  // Write to a sibling temp file, then rename into place: a crash mid-write
+  // leaves the previous checkpoint intact, never a half-written one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + tmp);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("read error on " + path);
+  }
+
+  if (buf.size() < sizeof(kMagic)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint (" +
+                                   std::to_string(buf.size()) + " bytes)");
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(path + " is not a MAMDR checkpoint");
   }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+  if (buf.size() < sizeof(kMagic) + sizeof(uint32_t) + kFooterBytes) {
+    return Status::InvalidArgument(path + ": truncated checkpoint header");
   }
+  uint32_t version = 0;
+  std::memcpy(&version, buf.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported checkpoint version " + std::to_string(version));
+  }
+  const size_t body = buf.size() - kFooterBytes;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + body, kFooterBytes);
+  if (Crc32(buf.data(), body) != stored_crc) {
+    return Status::InvalidArgument(
+        path + ": checkpoint CRC mismatch (corrupted or truncated file)");
+  }
+
+  Cursor cur(buf.data(), body);
+  char magic[sizeof(kMagic)];
+  MAMDR_CHECK(cur.ReadBytes(magic, sizeof(magic)));  // sizes verified above
+  MAMDR_CHECK(cur.Read(&version));
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) {
-    return Status::InvalidArgument("truncated checkpoint header");
+  if (!cur.Read(&count)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint header");
   }
   std::vector<std::pair<std::string, Tensor>> out;
   out.reserve(count);
   for (uint64_t t = 0; t < count; ++t) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
-      return Status::InvalidArgument("corrupt tensor name length");
+    if (!cur.Read(&name_len) || name_len > 4096 || name_len > cur.remaining()) {
+      return Status::InvalidArgument(path + ": corrupt tensor name length");
     }
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    MAMDR_CHECK(cur.ReadBytes(name.data(), name_len));
     uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank > 8) {
-      return Status::InvalidArgument("corrupt tensor rank");
+    if (!cur.Read(&rank) || rank > 8) {
+      return Status::InvalidArgument(path + ": corrupt tensor rank");
     }
     Shape shape(rank);
     for (auto& d : shape) {
-      if (!ReadPod(in, &d) || d < 0) {
-        return Status::InvalidArgument("corrupt tensor shape");
+      if (!cur.Read(&d) || d < 0) {
+        return Status::InvalidArgument(path + ": corrupt tensor shape");
       }
     }
     Tensor tensor(shape);
-    in.read(reinterpret_cast<char*>(tensor.data()),
-            static_cast<std::streamsize>(tensor.size() * sizeof(float)));
-    if (!in) return Status::InvalidArgument("truncated tensor data");
+    const size_t payload = static_cast<size_t>(tensor.size()) * sizeof(float);
+    if (!cur.ReadBytes(tensor.data(), payload)) {
+      return Status::InvalidArgument(path + ": truncated tensor data");
+    }
     out.emplace_back(std::move(name), std::move(tensor));
+  }
+  if (cur.remaining() != 0) {
+    return Status::InvalidArgument(path + ": trailing bytes after tensors");
   }
   return out;
 }

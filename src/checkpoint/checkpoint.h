@@ -1,9 +1,16 @@
 // Binary checkpointing of model parameters and MAMDR parameter stores.
 //
-// Format (little-endian): magic "MAMDRCKP", u32 version, u64 tensor count,
-// then per tensor: u32 name length, name bytes, u32 rank, i64 dims...,
-// float32 data. Loading matches tensors by name and verifies shapes, so a
+// Format v2 (little-endian): magic "MAMDRCKP", u32 version, u64 tensor
+// count, then per tensor: u32 name length, name bytes, u32 rank,
+// i64 dims..., float32 data; finally a u32 CRC-32 footer over every
+// preceding byte. Loading matches tensors by name and verifies shapes, so a
 // checkpoint survives refactors that only reorder parameters.
+//
+// Durability contract: SaveTensors writes to `<path>.tmp` and renames into
+// place, so `path` always holds either the previous or the new complete
+// checkpoint — never a torn write. LoadTensors verifies magic, version, and
+// CRC before deserializing and returns a descriptive InvalidArgument Status
+// for truncated, bad-magic, or bit-flipped files.
 #ifndef MAMDR_CHECKPOINT_CHECKPOINT_H_
 #define MAMDR_CHECKPOINT_CHECKPOINT_H_
 

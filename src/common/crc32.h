@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial), table-driven.
+//
+// Used as the checkpoint integrity footer: a flipped payload byte or a
+// truncated write changes the CRC, so LoadTensors can reject the file with
+// a clear Status instead of deserializing garbage.
+#ifndef MAMDR_COMMON_CRC32_H_
+#define MAMDR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mamdr {
+
+/// CRC of `len` bytes at `data`, continuing from `seed` (pass 0 to start).
+/// Chainable: Crc32(b, n2, Crc32(a, n1)) == Crc32(concat(a,b), n1+n2).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace mamdr
+
+#endif  // MAMDR_COMMON_CRC32_H_

@@ -1,0 +1,64 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mamdr {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+RetryPolicy::RetryPolicy(RetryConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  MAMDR_CHECK_GE(config_.max_attempts, 1);
+  MAMDR_CHECK_GE(config_.initial_backoff_us, 0);
+  MAMDR_CHECK_GE(config_.multiplier, 1.0);
+  MAMDR_CHECK_GE(config_.jitter, 0.0);
+  MAMDR_CHECK_LT(config_.jitter, 1.0);
+}
+
+int64_t RetryPolicy::NextBackoffUs(int attempt) {
+  double base = static_cast<double>(config_.initial_backoff_us) *
+                std::pow(config_.multiplier, attempt);
+  base = std::min(base, static_cast<double>(config_.max_backoff_us));
+  const double scale =
+      1.0 - config_.jitter + 2.0 * config_.jitter * rng_.Uniform();
+  return static_cast<int64_t>(base * scale);
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op, const char* what) {
+  last_backoffs_us_.clear();
+  last_attempts_ = 0;
+  int64_t scheduled_us = 0;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    last = op();
+    ++last_attempts_;
+    if (last.ok() || !IsRetryable(last)) return last;
+    if (attempt + 1 >= config_.max_attempts) break;
+    const int64_t backoff_us = NextBackoffUs(attempt);
+    scheduled_us += backoff_us;
+    if (config_.deadline_us > 0 && scheduled_us > config_.deadline_us) {
+      return Status::DeadlineExceeded(
+          std::string(what) + ": retry deadline after " +
+          std::to_string(last_attempts_) + " attempt(s); last: " +
+          last.ToString());
+    }
+    last_backoffs_us_.push_back(backoff_us);
+    if (config_.sleep && backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+  return Status(last.code(),
+                std::string(what) + ": gave up after " +
+                    std::to_string(last_attempts_) + " attempt(s); last: " +
+                    last.ToString());
+}
+
+}  // namespace mamdr

@@ -1,0 +1,80 @@
+// Reusable retry policy: exponential backoff with deterministic jitter.
+//
+// The PS-Worker runtime wraps every pull/push in RetryPolicy::Run so a
+// transient kUnavailable from the (possibly fault-injected) PS client is
+// retried instead of aborting the epoch. All randomness flows through
+// mamdr::Rng, so a seed reproduces the exact attempt/backoff schedule —
+// the chaos tests rely on this to be bit-identical across runs.
+//
+// Backoff for attempt k (0-based) before attempt k+1:
+//   base = min(initial_backoff_us * multiplier^k, max_backoff_us)
+//   sleep = base * (1 - jitter + 2 * jitter * u),  u ~ Uniform[0,1)
+//
+// The deadline is accounted in *scheduled* backoff time, not wall-clock
+// time, so the policy is deterministic under arbitrary scheduler noise.
+#ifndef MAMDR_COMMON_RETRY_H_
+#define MAMDR_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace mamdr {
+
+/// True for codes that denote transient failures worth retrying.
+bool IsRetryable(const Status& status);
+
+struct RetryConfig {
+  /// Total attempts, including the first (>= 1).
+  int max_attempts = 5;
+  /// First backoff, in microseconds.
+  int64_t initial_backoff_us = 100;
+  /// Exponential growth factor between attempts.
+  double multiplier = 2.0;
+  /// Cap on a single backoff.
+  int64_t max_backoff_us = 20'000;
+  /// Jitter fraction in [0, 1): each backoff is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter).
+  double jitter = 0.25;
+  /// Give up once the scheduled backoff budget exceeds this (0 = no
+  /// deadline). Expressed in accumulated backoff microseconds so the
+  /// decision is deterministic.
+  int64_t deadline_us = 0;
+  /// Actually sleep between attempts. Tests turn this off: the schedule is
+  /// still computed and recorded, only the wall-clock wait is skipped.
+  bool sleep = true;
+};
+
+class RetryPolicy {
+ public:
+  RetryPolicy(RetryConfig config, uint64_t seed);
+
+  /// Run `op` until it returns OK, a non-retryable error, or the attempt /
+  /// deadline budget is exhausted. On exhaustion returns kDeadlineExceeded
+  /// (deadline) or the last transient error (attempts), with `what` and the
+  /// attempt count woven into the message.
+  Status Run(const std::function<Status()>& op, const char* what);
+
+  /// Backoff (after jitter) scheduled before attempt `attempt`+1 of the
+  /// most recent Run(), in order. Empty if the first attempt succeeded.
+  const std::vector<int64_t>& last_backoffs_us() const {
+    return last_backoffs_us_;
+  }
+  /// Attempts consumed by the most recent Run().
+  int last_attempts() const { return last_attempts_; }
+
+ private:
+  int64_t NextBackoffUs(int attempt);
+
+  RetryConfig config_;
+  Rng rng_;
+  std::vector<int64_t> last_backoffs_us_;
+  int last_attempts_ = 0;
+};
+
+}  // namespace mamdr
+
+#endif  // MAMDR_COMMON_RETRY_H_

@@ -1,8 +1,10 @@
 // Status / Result error handling in the Arrow/RocksDB idiom.
 //
 // Library entry points that can fail for reasons a caller should handle
-// (bad configuration, malformed data) return Status or Result<T>.
-// Internal invariant violations use MAMDR_CHECK, which aborts.
+// (bad configuration, malformed data, transient PS unavailability) return
+// Status or Result<T>. Internal invariant violations use MAMDR_CHECK, which
+// aborts. Status is [[nodiscard]]: a caller must propagate, handle, or
+// explicitly void-cast every error.
 #ifndef MAMDR_COMMON_STATUS_H_
 #define MAMDR_COMMON_STATUS_H_
 
@@ -21,10 +23,18 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kInternal,
+  /// Transient failure (e.g. the PS endpoint is briefly unreachable); the
+  /// operation is safe to retry. See common/retry.h.
+  kUnavailable,
+  /// A retry loop ran out of budget before the operation succeeded.
+  kDeadlineExceeded,
+  /// The executing actor died mid-operation (simulated worker crash).
+  /// Never retryable at the call site; recovery happens at the orchestrator.
+  kAborted,
 };
 
 /// Lightweight status object: either OK or a code plus message.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -49,6 +59,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -64,7 +83,7 @@ class Status {
 
 /// Result<T> holds either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
@@ -89,5 +108,23 @@ class Result {
     ::mamdr::Status _st = (expr);            \
     if (!_st.ok()) return _st;               \
   } while (0)
+
+/// Alias in the abseil spelling; both forms appear in the wild and new code
+/// under src/ps uses this one.
+#define MAMDR_RETURN_IF_ERROR(expr) MAMDR_RETURN_NOT_OK(expr)
+
+#define MAMDR_STATUS_CONCAT_INNER_(a, b) a##b
+#define MAMDR_STATUS_CONCAT_(a, b) MAMDR_STATUS_CONCAT_INNER_(a, b)
+
+/// `MAMDR_ASSIGN_OR_RETURN(auto v, SomeResultFn());` — unwraps a Result<T>
+/// into `v` or propagates its error Status.
+#define MAMDR_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  MAMDR_ASSIGN_OR_RETURN_IMPL_(                                   \
+      MAMDR_STATUS_CONCAT_(_mamdr_result_, __LINE__), lhs, rexpr)
+
+#define MAMDR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
 
 #endif  // MAMDR_COMMON_STATUS_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
+#include "checkpoint/checkpoint.h"
+#include "common/logging.h"
 #include "metrics/auc.h"
 #include "models/registry.h"
 #include "optim/param_snapshot.h"
@@ -15,6 +18,7 @@ DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
                                    DistributedConfig config)
     : dataset_(dataset), config_(std::move(config)) {
   MAMDR_CHECK_GT(config_.num_workers, 0);
+  MAMDR_CHECK_GT(config_.checkpoint_every, 0);
   // More workers than domains would idle; clamp so worker ids stay dense.
   config_.num_workers =
       std::min<int64_t>(config_.num_workers, dataset_->num_domains());
@@ -59,57 +63,229 @@ DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
     wc.train = config_.train;
     wc.use_embedding_cache = config_.use_embedding_cache;
     wc.run_dr = config_.run_dr;
+    wc.retry = config_.retry;
     RowExtractor wx = MakeDefaultRowExtractor(m.value().get(), model_config,
                                               nullptr);
+    // Client stack: DirectPsClient, optionally decorated with a per-worker
+    // FaultInjector whose seed mixes the plan seed with the worker id so
+    // every worker sees an independent, reproducible fault stream.
+    std::unique_ptr<PsClient> client =
+        std::make_unique<DirectPsClient>(server_.get());
+    FaultInjector* inj = nullptr;
+    if (config_.fault_plan.enabled) {
+      FaultConfig fc = config_.fault_plan.faults;
+      fc.seed += static_cast<uint64_t>(w) * 2654435761ull;
+      auto wrapped = std::make_unique<FaultInjector>(std::move(client), fc);
+      inj = wrapped.get();
+      client = std::move(wrapped);
+    }
+    injectors_.push_back(inj);
     workers_.push_back(std::make_unique<Worker>(w, std::move(m).value(),
-                                                server_.get(), dataset_, wc,
-                                                std::move(wx)));
+                                                std::move(client), dataset_,
+                                                wc, std::move(wx)));
   }
-  pool_ = std::make_unique<ThreadPool>(
-      static_cast<size_t>(std::max<int64_t>(
-          1, std::min<int64_t>(config_.num_workers,
-                               static_cast<int64_t>(
-                                   std::thread::hardware_concurrency()) +
-                                   1))));
+  const int64_t auto_threads = std::max<int64_t>(
+      1, std::min<int64_t>(
+             config_.num_workers,
+             static_cast<int64_t>(std::thread::hardware_concurrency()) + 1));
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(
+      config_.pool_threads > 0 ? config_.pool_threads : auto_threads));
 }
 
 DistributedMamdr::~DistributedMamdr() = default;
 
-void DistributedMamdr::TrainEpoch() {
-  for (auto& w : workers_) {
-    Worker* wp = w.get();
-    pool_->Submit([wp] { wp->RunDnEpoch(); });
-  }
-  pool_->Wait();  // epoch barrier (Parallelized SGD style)
-  if (config_.run_dr) {
-    for (auto& w : workers_) {
-      Worker* wp = w.get();
-      pool_->Submit([wp] { wp->RunDrPhase(); });
+Status DistributedMamdr::RespawnAndRerun(size_t i, bool crash_again) {
+  FaultInjector* inj = injectors_[i];
+  if (inj != nullptr) {
+    inj->Reset();
+    if (crash_again && config_.fault_plan.crash_after_ops > 0) {
+      inj->ArmCrashAfterOps(config_.fault_plan.crash_after_ops);
     }
-    pool_->Wait();
   }
+  MAMDR_RETURN_IF_ERROR(workers_[i]->RestoreFromPs());
+  return workers_[i]->RunDnEpoch();
 }
 
-void DistributedMamdr::Train() {
+Status DistributedMamdr::TrainEpoch() {
+  const int64_t epoch = epochs_run_;
+  // Arm this epoch's scheduled crash on the round-robin victim.
+  if (config_.fault_plan.enabled && config_.fault_plan.crash_after_ops > 0) {
+    FaultInjector* inj =
+        injectors_[static_cast<size_t>(epoch % num_workers())];
+    if (inj != nullptr) {
+      inj->ArmCrashAfterOps(config_.fault_plan.crash_after_ops);
+    }
+  }
+
+  std::vector<Status> results(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker* wp = workers_[i].get();
+    Status* slot = &results[i];
+    pool_->Submit([wp, slot] { *slot = wp->RunDnEpoch(); });
+  }
+  pool_->Wait();  // epoch barrier (Parallelized SGD style)
+
+  // Recovery pass: respawn failed workers; reassign domains when the
+  // respawn dies too, so the epoch degrades gracefully instead of being
+  // lost for those domains.
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (results[i].ok()) continue;
+    ++recovery_.failed_epochs;
+    MAMDR_LOG(Warning) << "worker " << i << " failed epoch " << epoch << ": "
+                       << results[i].ToString();
+    const bool crash_again = epoch == config_.fault_plan.crash_respawn_epoch;
+    Status respawned = RespawnAndRerun(i, crash_again);
+    if (respawned.ok()) {
+      ++recovery_.respawns;
+      continue;
+    }
+    ++recovery_.respawn_failures;
+    MAMDR_LOG(Warning) << "worker " << i << " respawn failed: "
+                       << respawned.ToString();
+    // Find a worker that completed this epoch to adopt the domains.
+    Status adopted = Status::Internal("no surviving worker");
+    for (size_t j = 0; j < workers_.size(); ++j) {
+      if (j == i || !results[j].ok()) continue;
+      adopted = workers_[j]->RunDnEpochOn(workers_[i]->domains());
+      break;
+    }
+    if (!adopted.ok()) return adopted;  // epoch unsalvageable
+    ++recovery_.reassigned_epochs;
+  }
+  // Disarm any leftover crash schedule and revive dead workers: next epoch
+  // starts from a clean fault state (the next scheduled crash re-arms).
+  for (FaultInjector* inj : injectors_) {
+    if (inj != nullptr) inj->Reset();
+  }
+  ++epochs_run_;
+
+  if (config_.run_dr) {
+    std::vector<Status> dr_results(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker* wp = workers_[i].get();
+      Status* slot = &dr_results[i];
+      pool_->Submit([wp, slot] { *slot = wp->RunDrPhase(); });
+    }
+    pool_->Wait();
+    for (const Status& s : dr_results) MAMDR_RETURN_IF_ERROR(s);
+  }
+
+  if (!config_.checkpoint_dir.empty() &&
+      epochs_run_ % config_.checkpoint_every == 0) {
+    MAMDR_RETURN_IF_ERROR(SaveCheckpoint(epochs_run_));
+  }
+  return Status::OK();
+}
+
+Status DistributedMamdr::Train() {
+  int64_t start_epoch = 0;
+  if (!config_.checkpoint_dir.empty()) {
+    auto resumed = RestoreFromCheckpoint();
+    if (resumed.ok()) {
+      start_epoch = resumed.value();
+      MAMDR_LOG(Info) << "resuming from checkpoint at epoch " << start_epoch;
+    } else if (resumed.status().code() != StatusCode::kNotFound) {
+      // A corrupted checkpoint must never be silently trained on.
+      return resumed.status();
+    }
+  }
+  epochs_run_ = start_epoch;
+
   if (config_.async_epochs) {
     // Barrier-free: each worker runs its full schedule; pulls observe
     // whatever mixture of other workers' pushes the PS holds at that
-    // moment.
-    const int64_t epochs = config_.train.epochs;
+    // moment. Recovery is worker-side: restore + retry a failed epoch
+    // once, then skip it.
+    const int64_t epochs = config_.train.epochs - start_epoch;
     const bool run_dr = config_.run_dr;
-    for (auto& w : workers_) {
-      Worker* wp = w.get();
-      pool_->Submit([wp, epochs, run_dr] {
+    std::vector<Status> results(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker* wp = workers_[i].get();
+      FaultInjector* inj = injectors_[i];
+      Status* slot = &results[i];
+      pool_->Submit([wp, inj, epochs, run_dr, slot] {
         for (int64_t e = 0; e < epochs; ++e) {
-          wp->RunDnEpoch();
-          if (run_dr) wp->RunDrPhase();
+          Status s = wp->RunDnEpoch();
+          if (!s.ok()) {
+            if (inj != nullptr) inj->Reset();
+            s = wp->RestoreFromPs();
+            if (s.ok()) s = wp->RunDnEpoch();
+            if (!s.ok()) {
+              MAMDR_LOG(Warning) << "worker " << wp->id() << " skipped async "
+                                 << "epoch " << e << ": " << s.ToString();
+              continue;
+            }
+          }
+          if (run_dr) {
+            if (Status dr = wp->RunDrPhase(); !dr.ok()) {
+              *slot = dr;
+              return;
+            }
+          }
         }
       });
     }
     pool_->Wait();
-    return;
+    for (const Status& s : results) MAMDR_RETURN_IF_ERROR(s);
+    epochs_run_ = config_.train.epochs;
+    if (!config_.checkpoint_dir.empty()) {
+      MAMDR_RETURN_IF_ERROR(SaveCheckpoint(epochs_run_));
+    }
+    return Status::OK();
   }
-  for (int64_t e = 0; e < config_.train.epochs; ++e) TrainEpoch();
+
+  for (int64_t e = start_epoch; e < config_.train.epochs; ++e) {
+    MAMDR_RETURN_IF_ERROR(TrainEpoch());
+  }
+  return Status::OK();
+}
+
+Status DistributedMamdr::SaveCheckpoint(int64_t completed_epochs) {
+  MAMDR_CHECK(!config_.checkpoint_dir.empty());
+  std::vector<std::pair<std::string, Tensor>> named;
+  named.emplace_back("epoch",
+                     Tensor({1}, static_cast<float>(completed_epochs)));
+  const auto snapshot = server_->SnapshotAll();
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    named.emplace_back("param/" + std::to_string(i), snapshot[i]);
+  }
+  return checkpoint::SaveTensors(named, CheckpointPath());
+}
+
+Result<int64_t> DistributedMamdr::RestoreFromCheckpoint() {
+  MAMDR_ASSIGN_OR_RETURN(auto named,
+                         checkpoint::LoadTensors(CheckpointPath()));
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const auto& [name, tensor] : named) by_name[name] = &tensor;
+
+  auto epoch_it = by_name.find("epoch");
+  if (epoch_it == by_name.end() || epoch_it->second->size() != 1) {
+    return Status::InvalidArgument("checkpoint missing epoch counter");
+  }
+  const int64_t epoch = static_cast<int64_t>(epoch_it->second->at(0));
+  if (epoch < 0) {
+    return Status::InvalidArgument("checkpoint epoch counter is negative");
+  }
+
+  // Validate the whole layout before touching the PS: restore is
+  // all-or-nothing.
+  std::vector<Tensor> current = server_->SnapshotAll();
+  std::vector<Tensor> restored;
+  restored.reserve(current.size());
+  for (size_t i = 0; i < current.size(); ++i) {
+    auto it = by_name.find("param/" + std::to_string(i));
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("checkpoint missing param/" +
+                                     std::to_string(i));
+    }
+    if (it->second->shape() != current[i].shape()) {
+      return Status::InvalidArgument("checkpoint shape mismatch for param/" +
+                                     std::to_string(i));
+    }
+    restored.push_back(*it->second);
+  }
+  server_->RestoreAll(restored);
+  return epoch;
 }
 
 std::vector<double> DistributedMamdr::EvaluateTest() {

@@ -1,17 +1,51 @@
 // Orchestrates the PS-Worker simulation of MAMDR's large-scale
 // implementation (§IV-E): one parameter server, m workers, domains
 // partitioned across workers by a greedy size-balancing assignment.
+//
+// Fault tolerance: every worker talks to the PS through a PsClient; with a
+// FaultPlan enabled each client is wrapped in a FaultInjector, and
+// TrainEpoch runs a recovery pass after the epoch barrier — a worker whose
+// epoch failed is respawned (injector reset + replica restored from the
+// latest PS state) and its epoch re-run; if the respawn also dies, its
+// domains are reassigned to a surviving worker for the remainder of the
+// epoch. With `checkpoint_dir` set, the PS state plus the completed-epoch
+// counter are atomically checkpointed every `checkpoint_every` epochs and
+// Train() resumes from the latest checkpoint after a process restart.
 #ifndef MAMDR_PS_DISTRIBUTED_MAMDR_H_
 #define MAMDR_PS_DISTRIBUTED_MAMDR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "ps/fault_injector.h"
 #include "ps/worker.h"
 
 namespace mamdr {
 namespace ps {
+
+/// Chaos schedule for a training run (see ps/fault_injector.h). Worker w's
+/// injector is seeded with (faults.seed, w), so the whole schedule is a
+/// deterministic function of the plan.
+struct FaultPlan {
+  bool enabled = false;
+  FaultConfig faults;
+  /// Per sync epoch, crash the round-robin victim worker (epoch mod m)
+  /// after this many PS ops. 0 = no scheduled crashes.
+  int64_t crash_after_ops = 0;
+  /// Epoch at which the victim's *respawn* is also crashed, forcing the
+  /// domain-reassignment path. -1 = never.
+  int64_t crash_respawn_epoch = -1;
+};
+
+/// What the recovery pass did over the whole run.
+struct RecoveryStats {
+  int64_t failed_epochs = 0;      // worker epochs that returned non-OK
+  int64_t respawns = 0;           // successful respawn + re-run
+  int64_t respawn_failures = 0;   // respawned worker died again
+  int64_t reassigned_epochs = 0;  // domains re-run on a surviving worker
+};
 
 struct DistributedConfig {
   int64_t num_workers = 4;
@@ -24,9 +58,23 @@ struct DistributedConfig {
   /// worker's pull may observe other workers' partial pushes — the
   /// staleness the dynamic cache's pull-latest-on-miss policy bounds.
   /// Synchronous mode (default) barriers after every epoch
-  /// (Parallelized-SGD style).
+  /// (Parallelized-SGD style). Crash recovery in async mode is worker-side:
+  /// a failed epoch is restored + retried once, then skipped.
   bool async_epochs = false;
   std::string model_name = "MLP";
+  /// Retry policy every worker applies to each pull/push.
+  RetryConfig retry;
+  /// Fault-injection schedule; disabled by default (DirectPsClient).
+  FaultPlan fault_plan;
+  /// Worker pool size; 0 = one thread per worker capped at the hardware.
+  /// 1 serializes workers, making PS push order — and therefore the whole
+  /// run — bit-deterministic; the chaos tests train with 1.
+  int64_t pool_threads = 0;
+  /// When non-empty, checkpoint the PS to `<checkpoint_dir>/ps.ckpt` after
+  /// every `checkpoint_every` completed sync epochs, and resume Train()
+  /// from the checkpoint when one is present.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 1;
 };
 
 class DistributedMamdr {
@@ -37,12 +85,24 @@ class DistributedMamdr {
   ~DistributedMamdr();
 
   /// One outer epoch: all workers run the DN inner loop concurrently and
-  /// push (steps 1-5 of Fig. 6); then, if enabled, the DR phase.
-  void TrainEpoch();
+  /// push (steps 1-5 of Fig. 6); then the recovery pass for any worker
+  /// whose epoch failed; then, if enabled, the DR phase. Returns non-OK
+  /// only when an epoch could not be salvaged at all.
+  Status TrainEpoch();
 
-  /// config.train.epochs epochs. With async_epochs, every worker runs all
+  /// config.train.epochs epochs, resuming from the latest checkpoint when
+  /// checkpointing is configured. With async_epochs, every worker runs all
   /// its epochs in one barrier-free task.
-  void Train();
+  Status Train();
+
+  /// Write PS state + `completed_epochs` atomically to
+  /// `<checkpoint_dir>/ps.ckpt`.
+  Status SaveCheckpoint(int64_t completed_epochs);
+
+  /// Restore PS state from `<checkpoint_dir>/ps.ckpt`; returns the number
+  /// of completed epochs recorded in it. kNotFound when no checkpoint
+  /// exists; kInvalidArgument for corrupted or layout-mismatched files.
+  Result<int64_t> RestoreFromCheckpoint();
 
   /// Per-domain test AUC. Uses each domain's owner worker (with its specific
   /// parameters when run_dr), otherwise a reference replica restored from
@@ -52,22 +112,39 @@ class DistributedMamdr {
 
   ParameterServer* server() { return server_.get(); }
   Worker* worker(int64_t i) { return workers_[static_cast<size_t>(i)].get(); }
+  /// The worker's fault injector; nullptr when the plan is disabled.
+  FaultInjector* injector(int64_t i) {
+    return injectors_[static_cast<size_t>(i)];
+  }
   int64_t num_workers() const {
     return static_cast<int64_t>(workers_.size());
   }
   int64_t OwnerOf(int64_t domain) const {
     return owner_[static_cast<size_t>(domain)];
   }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  int64_t epochs_run() const { return epochs_run_; }
 
  private:
+  /// Respawn worker `i` (reset injector, restore replica from the PS) and
+  /// re-run its epoch. `crash_again` re-arms the injected crash first.
+  Status RespawnAndRerun(size_t i, bool crash_again);
+
+  std::string CheckpointPath() const {
+    return config_.checkpoint_dir + "/ps.ckpt";
+  }
+
   const data::MultiDomainDataset* dataset_;
   DistributedConfig config_;
   std::unique_ptr<models::CtrModel> reference_model_;
   std::vector<autograd::Var> reference_params_;
   std::unique_ptr<ParameterServer> server_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<FaultInjector*> injectors_;  // parallel to workers_; may be null
   std::vector<int64_t> owner_;  // domain -> worker id
   std::unique_ptr<ThreadPool> pool_;
+  RecoveryStats recovery_;
+  int64_t epochs_run_ = 0;
 };
 
 }  // namespace ps

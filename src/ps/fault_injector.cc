@@ -1,0 +1,140 @@
+#include "ps/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace ps {
+
+FaultInjector::FaultInjector(std::unique_ptr<PsClient> inner,
+                             FaultConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  MAMDR_CHECK(inner_ != nullptr);
+}
+
+void FaultInjector::ArmCrashAfterOps(int64_t after_ops) {
+  MAMDR_CHECK_GE(after_ops, 1);
+  MutexLock lock(&mu_);
+  crash_countdown_ = after_ops;
+}
+
+void FaultInjector::Reset() {
+  MutexLock lock(&mu_);
+  crashed_ = false;
+  crash_countdown_ = -1;
+}
+
+bool FaultInjector::crashed() const {
+  MutexLock lock(&mu_);
+  return crashed_;
+}
+
+FaultStats FaultInjector::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+FaultInjector::Decision FaultInjector::Enter(bool is_push) {
+  bool sleep_now = false;
+  Decision d;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.ops;
+    if (crashed_) {
+      d.crash = true;
+      return d;
+    }
+    if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+      crashed_ = true;
+      ++stats_.crashes;
+      d.crash = true;
+      return d;
+    }
+    // Fixed draw order keeps the schedule a pure function of the op count.
+    const bool unavailable = rng_.Bernoulli(config_.unavailable_prob);
+    const bool drop = rng_.Bernoulli(config_.drop_push_prob);
+    const bool latency = rng_.Bernoulli(config_.latency_prob);
+    if (unavailable) {
+      ++stats_.injected_unavailable;
+      d.unavailable = true;
+      return d;
+    }
+    if (is_push && drop) {
+      ++stats_.dropped_pushes;
+      d.drop = true;
+    }
+    if (latency) {
+      ++stats_.injected_latency;
+      sleep_now = true;
+    }
+  }
+  if (sleep_now && config_.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_us));
+  }
+  return d;
+}
+
+namespace {
+
+Status CrashStatus() {
+  return Status::Aborted("worker crashed (injected)");
+}
+
+Status UnavailableStatus() {
+  return Status::Unavailable("PS endpoint unavailable (injected)");
+}
+
+}  // namespace
+
+Status FaultInjector::PullDense(std::vector<Tensor>* out) {
+  const Decision d = Enter(/*is_push=*/false);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  return inner_->PullDense(out);
+}
+
+Status FaultInjector::PullRows(int64_t idx, const std::vector<int64_t>& rows,
+                               Tensor* into) {
+  const Decision d = Enter(/*is_push=*/false);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  return inner_->PullRows(idx, rows, into);
+}
+
+Status FaultInjector::PullFullTable(int64_t idx, Tensor* into) {
+  const Decision d = Enter(/*is_push=*/false);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  return inner_->PullFullTable(idx, into);
+}
+
+Status FaultInjector::PushDenseDelta(const std::vector<Tensor>& delta,
+                                     float beta) {
+  const Decision d = Enter(/*is_push=*/true);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  if (d.drop) return Status::OK();  // acknowledged, never applied
+  return inner_->PushDenseDelta(delta, beta);
+}
+
+Status FaultInjector::PushRowDeltas(int64_t idx,
+                                    const std::vector<int64_t>& rows,
+                                    const Tensor& delta, float beta) {
+  const Decision d = Enter(/*is_push=*/true);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  if (d.drop) return Status::OK();  // acknowledged, never applied
+  return inner_->PushRowDeltas(idx, rows, delta, beta);
+}
+
+Result<std::vector<Tensor>> FaultInjector::Snapshot() {
+  const Decision d = Enter(/*is_push=*/false);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  return inner_->Snapshot();
+}
+
+}  // namespace ps
+}  // namespace mamdr

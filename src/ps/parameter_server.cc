@@ -95,6 +95,16 @@ std::vector<Tensor> ParameterServer::SnapshotAll() {
   return out;
 }
 
+void ParameterServer::RestoreAll(const std::vector<Tensor>& params) {
+  MutexLock lock(&mu_);
+  MAMDR_CHECK_EQ(params.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    MAMDR_CHECK(params[i].shape() == params_[i].shape());
+    std::copy(params[i].data(), params[i].data() + params[i].size(),
+              params_[i].data());
+  }
+}
+
 PsStats ParameterServer::stats() {
   MutexLock lock(&mu_);
   return stats_;

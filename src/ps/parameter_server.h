@@ -66,6 +66,11 @@ class ParameterServer {
   /// Snapshot of all parameters (for evaluation / checkpointing).
   std::vector<Tensor> SnapshotAll() MAMDR_EXCLUDES(mu_);
 
+  /// Overwrite every parameter from a snapshot with the same layout
+  /// (checkpoint resume). Shapes are MAMDR_CHECKed against the current
+  /// layout; the caller validates untrusted input first.
+  void RestoreAll(const std::vector<Tensor>& params) MAMDR_EXCLUDES(mu_);
+
   PsStats stats() MAMDR_EXCLUDES(mu_);
   void ResetStats() MAMDR_EXCLUDES(mu_);
 

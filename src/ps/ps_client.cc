@@ -1,0 +1,46 @@
+#include "ps/ps_client.h"
+
+#include "common/logging.h"
+
+namespace mamdr {
+namespace ps {
+
+DirectPsClient::DirectPsClient(ParameterServer* server) : server_(server) {
+  MAMDR_CHECK(server_ != nullptr);
+}
+
+Status DirectPsClient::PullDense(std::vector<Tensor>* out) {
+  server_->PullDense(out);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
+}
+
+Status DirectPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
+                                Tensor* into) {
+  server_->PullRows(idx, rows, into);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
+}
+
+Status DirectPsClient::PullFullTable(int64_t idx, Tensor* into) {
+  server_->PullFullTable(idx, into);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
+}
+
+Status DirectPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
+                                      float beta) {
+  server_->PushDenseDelta(delta, beta);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
+}
+
+Status DirectPsClient::PushRowDeltas(int64_t idx,
+                                     const std::vector<int64_t>& rows,
+                                     const Tensor& delta, float beta) {
+  server_->PushRowDeltas(idx, rows, delta, beta);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> DirectPsClient::Snapshot() {
+  return server_->SnapshotAll();
+}
+
+}  // namespace ps
+}  // namespace mamdr

@@ -81,21 +81,23 @@ RowExtractor MakeDefaultRowExtractor(models::CtrModel* model,
 }
 
 Worker::Worker(int64_t id, std::unique_ptr<models::CtrModel> model,
-               ParameterServer* server,
+               std::unique_ptr<PsClient> client,
                const data::MultiDomainDataset* dataset, WorkerConfig config,
                RowExtractor extractor)
     : id_(id),
       model_(std::move(model)),
-      server_(server),
+      client_(std::move(client)),
       dataset_(dataset),
       config_(std::move(config)),
       extractor_(std::move(extractor)),
-      rng_(config_.train.seed + static_cast<uint64_t>(id) * 7919) {
+      rng_(config_.train.seed + static_cast<uint64_t>(id) * 7919),
+      retry_(config_.retry,
+             config_.train.seed + static_cast<uint64_t>(id) * 15485863) {
   MAMDR_CHECK(model_ != nullptr);
-  MAMDR_CHECK(server_ != nullptr);
+  MAMDR_CHECK(client_ != nullptr);
   MAMDR_CHECK(!config_.domains.empty());
   params_ = model_->Parameters();
-  MAMDR_CHECK_EQ(static_cast<int64_t>(params_.size()), server_->num_params());
+  MAMDR_CHECK_EQ(static_cast<int64_t>(params_.size()), client_->num_params());
   caches_.resize(params_.size());
   static_cache_ = optim::Snapshot(params_);
   if (config_.run_dr) {
@@ -114,7 +116,11 @@ const EmbeddingCache& Worker::cache(int64_t param_index) const {
   return caches_[static_cast<size_t>(param_index)];
 }
 
-void Worker::EnsureRowsFresh(const data::Batch& batch) {
+Status Worker::CallPs(const char* what, const std::function<Status()>& op) {
+  return retry_.Run(op, what);
+}
+
+Status Worker::EnsureRowsFresh(const data::Batch& batch) {
   for (const auto& touched : extractor_(batch)) {
     const size_t idx = static_cast<size_t>(touched.param_index);
     Tensor local_view = params_[idx].mutable_value();  // shares storage
@@ -124,7 +130,9 @@ void Worker::EnsureRowsFresh(const data::Batch& batch) {
       std::vector<int64_t> misses =
           caches_[idx].TouchAndGetMisses(touched.rows);
       if (!misses.empty()) {
-        server_->PullRows(touched.param_index, misses, &local_view);
+        MAMDR_RETURN_IF_ERROR(CallPs("PullRows", [&] {
+          return client_->PullRows(touched.param_index, misses, &local_view);
+        }));
         const int64_t d = local_view.cols();
         for (int64_t r : misses) {
           std::copy(local_view.data() + r * d, local_view.data() + (r + 1) * d,
@@ -133,36 +141,47 @@ void Worker::EnsureRowsFresh(const data::Batch& batch) {
       }
     } else {
       // No-cache baseline: every batch pulls its rows fresh.
-      server_->PullRows(touched.param_index, Dedup(touched.rows),
-                        &local_view);
+      const std::vector<int64_t> rows = Dedup(touched.rows);
+      MAMDR_RETURN_IF_ERROR(CallPs("PullRows", [&] {
+        return client_->PullRows(touched.param_index, rows, &local_view);
+      }));
     }
   }
+  return Status::OK();
 }
 
-void Worker::PushBatchEmbeddingGrads(const data::Batch& batch) {
+Status Worker::PushBatchEmbeddingGrads(const data::Batch& batch) {
   // Synchronous baseline: embedding updates are applied server-side as
   // -lr * grad after every step.
   for (const auto& touched : extractor_(batch)) {
     const size_t idx = static_cast<size_t>(touched.param_index);
     if (!params_[idx].has_grad()) continue;
-    server_->PushRowDeltas(touched.param_index, Dedup(touched.rows),
-                           params_[idx].grad(), -config_.train.inner_lr);
+    const std::vector<int64_t> rows = Dedup(touched.rows);
+    MAMDR_RETURN_IF_ERROR(CallPs("PushRowDeltas", [&] {
+      return client_->PushRowDeltas(touched.param_index, rows,
+                                    params_[idx].grad(),
+                                    -config_.train.inner_lr);
+    }));
   }
+  return Status::OK();
 }
 
-void Worker::RunDnEpoch() {
+Status Worker::RunDnEpoch() { return RunDnEpochOn(config_.domains); }
+
+Status Worker::RunDnEpochOn(const std::vector<int64_t>& domains) {
   // (1)-(2): pull dense parameters from the PS into the local replica; the
   // pulled values are the static-cache base Θ for the outer update.
   std::vector<Tensor> views;
   views.reserve(params_.size());
   for (auto& p : params_) views.push_back(p.mutable_value());
-  server_->PullDense(&views);
+  MAMDR_RETURN_IF_ERROR(
+      CallPs("PullDense", [&] { return client_->PullDense(&views); }));
   static_cache_ = optim::Snapshot(params_);
   for (auto& c : caches_) c.Clear();
 
-  // (3): DN inner loop over the owned domains.
+  // (3): DN inner loop over the domains.
   auto inner = std::make_unique<optim::Adam>(params_, config_.train.inner_lr);
-  std::vector<int64_t> order = config_.domains;
+  std::vector<int64_t> order = domains;
   rng_.Shuffle(&order);
   nn::Context ctx{/*training=*/true, &rng_};
   data::Batch batch;
@@ -171,10 +190,12 @@ void Worker::RunDnEpoch() {
                           &rng_);
     int64_t batches = 0;
     while (batcher.Next(&batch)) {
-      EnsureRowsFresh(batch);
+      MAMDR_RETURN_IF_ERROR(EnsureRowsFresh(batch));
       inner->ZeroGrad();
       model_->Loss(batch, d, ctx).Backward();
-      if (!config_.use_embedding_cache) PushBatchEmbeddingGrads(batch);
+      if (!config_.use_embedding_cache) {
+        MAMDR_RETURN_IF_ERROR(PushBatchEmbeddingGrads(batch));
+      }
       inner->Step();
       ++batches;
       if (config_.train.dn_max_batches > 0 &&
@@ -187,36 +208,54 @@ void Worker::RunDnEpoch() {
   // (4): push the meta-delta Θ̃ − Θ; the server applies Eq. 3 with β.
   std::vector<Tensor> dense_delta(params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
-    if (server_->is_embedding(static_cast<int64_t>(i))) continue;
+    if (client_->is_embedding(static_cast<int64_t>(i))) continue;
     dense_delta[i] = ops::Sub(params_[i].value(), static_cache_[i]);
   }
-  server_->PushDenseDelta(dense_delta, config_.train.outer_lr);
+  MAMDR_RETURN_IF_ERROR(CallPs("PushDenseDelta", [&] {
+    return client_->PushDenseDelta(dense_delta, config_.train.outer_lr);
+  }));
   if (config_.use_embedding_cache) {
     for (size_t i = 0; i < params_.size(); ++i) {
-      if (!server_->is_embedding(static_cast<int64_t>(i))) continue;
+      if (!client_->is_embedding(static_cast<int64_t>(i))) continue;
       const std::vector<int64_t> rows = caches_[i].CachedRows();
       if (rows.empty()) continue;
       Tensor delta = ops::Sub(params_[i].value(), static_cache_[i]);
-      server_->PushRowDeltas(static_cast<int64_t>(i), rows, delta,
-                             config_.train.outer_lr);
+      MAMDR_RETURN_IF_ERROR(CallPs("PushRowDeltas", [&] {
+        return client_->PushRowDeltas(static_cast<int64_t>(i), rows, delta,
+                                      config_.train.outer_lr);
+      }));
     }
   }
+  return Status::OK();
 }
 
-void Worker::RunDrPhase() {
-  if (!config_.run_dr) return;
+Status Worker::RunDrPhase() {
+  if (!config_.run_dr) return Status::OK();
   // Refresh the full parameter state from the PS as the shared basis θS.
+  MAMDR_RETURN_IF_ERROR(RestoreFromPs());
+  store_->UpdateSharedFromParams();
+  for (int64_t d : config_.domains) dr_->DrForDomain(d);
+  return Status::OK();
+}
+
+Status Worker::RestoreFromPs() {
   std::vector<Tensor> views;
   views.reserve(params_.size());
   for (auto& p : params_) views.push_back(p.mutable_value());
-  server_->PullDense(&views);
+  MAMDR_RETURN_IF_ERROR(
+      CallPs("PullDense", [&] { return client_->PullDense(&views); }));
   for (size_t i = 0; i < params_.size(); ++i) {
-    if (!server_->is_embedding(static_cast<int64_t>(i))) continue;
+    if (!client_->is_embedding(static_cast<int64_t>(i))) continue;
     Tensor view = params_[i].mutable_value();
-    server_->PullFullTable(static_cast<int64_t>(i), &view);
+    MAMDR_RETURN_IF_ERROR(CallPs("PullFullTable", [&] {
+      return client_->PullFullTable(static_cast<int64_t>(i), &view);
+    }));
   }
-  store_->UpdateSharedFromParams();
-  for (int64_t d : config_.domains) dr_->DrForDomain(d);
+  // The replica is now exactly the PS state: any partial inner-loop progress
+  // is gone, so the delta base and row caches must restart from here.
+  static_cache_ = optim::Snapshot(params_);
+  for (auto& c : caches_) c.Clear();
+  return Status::OK();
 }
 
 }  // namespace ps

@@ -6,6 +6,11 @@
 // through the dynamic cache), and pushes the meta-delta Θ̃ − Θ back to the
 // PS, which applies Eq. 3.
 //
+// All PS traffic goes through a Status-returning PsClient and a retry
+// policy: transient kUnavailable responses are retried with exponential
+// backoff; a non-retryable error (e.g. an injected kAborted crash) unwinds
+// out of the epoch as a Status, leaving recovery to DistributedMamdr.
+//
 // With `use_embedding_cache=false` the worker instead pulls every batch's
 // embedding rows fresh from the PS and pushes their gradients back after
 // every step — the synchronous baseline whose traffic the cache mechanism
@@ -17,11 +22,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/domain_regularization.h"
 #include "core/framework.h"
 #include "models/ctr_model.h"
 #include "ps/embedding_cache.h"
-#include "ps/parameter_server.h"
+#include "ps/ps_client.h"
 
 namespace mamdr {
 namespace ps {
@@ -48,33 +54,51 @@ struct WorkerConfig {
   core::TrainConfig train;
   bool use_embedding_cache = true;
   bool run_dr = false;  // run the DR phase for owned domains after DN
+  /// Retry policy for every pull/push (see common/retry.h).
+  RetryConfig retry;
 };
 
 class Worker {
  public:
   Worker(int64_t id, std::unique_ptr<models::CtrModel> model,
-         ParameterServer* server, const data::MultiDomainDataset* dataset,
-         WorkerConfig config, RowExtractor extractor);
+         std::unique_ptr<PsClient> client,
+         const data::MultiDomainDataset* dataset, WorkerConfig config,
+         RowExtractor extractor);
   ~Worker();
 
-  /// One outer epoch: pull -> DN inner loop over owned domains -> push.
-  void RunDnEpoch();
+  /// One outer epoch over the owned domains: pull -> DN inner loop -> push.
+  /// A non-OK return means the epoch did not complete (kAborted = this
+  /// worker crashed mid-epoch and needs Respawn-style recovery).
+  Status RunDnEpoch();
+
+  /// Same, over an explicit domain list: used when a dead worker's domains
+  /// are reassigned to this one for the remainder of an epoch.
+  Status RunDnEpochOn(const std::vector<int64_t>& domains);
 
   /// DR phase for owned domains (requires run_dr; uses the latest θS).
-  void RunDrPhase();
+  Status RunDrPhase();
+
+  /// Crash recovery: re-sync the whole replica (dense + all embedding
+  /// tables) from the PS and drop cache state, discarding any partial
+  /// inner-loop progress. The caller resets the fault injector first.
+  Status RestoreFromPs();
 
   models::CtrModel* model() { return model_.get(); }
+  PsClient* client() { return client_.get(); }
   const EmbeddingCache& cache(int64_t param_index) const;
   core::SharedSpecificStore* specific_store() { return store_.get(); }
   int64_t id() const { return id_; }
+  const std::vector<int64_t>& domains() const { return config_.domains; }
 
  private:
-  void EnsureRowsFresh(const data::Batch& batch);
-  void PushBatchEmbeddingGrads(const data::Batch& batch);
+  Status EnsureRowsFresh(const data::Batch& batch);
+  Status PushBatchEmbeddingGrads(const data::Batch& batch);
+  /// Retry-wrapped client call.
+  Status CallPs(const char* what, const std::function<Status()>& op);
 
   int64_t id_;
   std::unique_ptr<models::CtrModel> model_;
-  ParameterServer* server_;
+  std::unique_ptr<PsClient> client_;
   const data::MultiDomainDataset* dataset_;
   WorkerConfig config_;
   RowExtractor extractor_;
@@ -86,6 +110,7 @@ class Worker {
   std::unique_ptr<core::SharedSpecificStore> store_;  // θi for owned domains
   std::unique_ptr<core::DomainRegularization> dr_;
   Rng rng_;
+  RetryPolicy retry_;
 };
 
 }  // namespace ps

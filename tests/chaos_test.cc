@@ -1,0 +1,385 @@
+// Deterministic chaos tests for the fault-tolerant PS-Worker runtime.
+//
+// Everything here is seeded: the fault schedule is a pure function of
+// (FaultConfig.seed, worker id, op sequence) and the chaos runs train with
+// pool_threads=1 so PS push order is serial — two runs of the same seed are
+// bit-identical, crashes included.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ps/distributed_mamdr.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace mamdr {
+namespace ps {
+namespace {
+
+namespace fs = std::filesystem;
+
+RetryConfig TestRetry() {
+  RetryConfig r;
+  r.max_attempts = 6;
+  r.initial_backoff_us = 1;  // keep chaos tests fast
+  r.max_backoff_us = 16;
+  r.sleep = false;
+  return r;
+}
+
+std::unique_ptr<ParameterServer> TinyServer() {
+  std::vector<Tensor> params{Tensor({2, 2}, 1.0f), Tensor({4, 3}, 2.0f)};
+  return std::make_unique<ParameterServer>(params,
+                                           std::vector<bool>{false, true});
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests.
+
+TEST(FaultInjectorTest, NoFaultsForwardsEverything) {
+  auto server = TinyServer();
+  FaultInjector client(std::make_unique<DirectPsClient>(server.get()),
+                       FaultConfig{});
+  std::vector<Tensor> out{Tensor({2, 2}), Tensor({4, 3})};
+  ASSERT_TRUE(client.PullDense(&out).ok());
+  EXPECT_FLOAT_EQ(out[0].at(0), 1.0f);
+  Tensor table({4, 3});
+  ASSERT_TRUE(client.PullRows(1, {2}, &table).ok());
+  EXPECT_FLOAT_EQ(table.at(2, 0), 2.0f);
+  EXPECT_EQ(client.stats().ops, 2u);
+  EXPECT_EQ(client.stats().injected_unavailable, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameOpSequenceSameFaults) {
+  auto run = [](uint64_t seed) {
+    auto server = TinyServer();
+    FaultConfig fc;
+    fc.seed = seed;
+    fc.unavailable_prob = 0.3;
+    fc.drop_push_prob = 0.2;
+    FaultInjector client(std::make_unique<DirectPsClient>(server.get()), fc);
+    std::vector<StatusCode> codes;
+    std::vector<Tensor> out{Tensor({2, 2}), Tensor({4, 3})};
+    std::vector<Tensor> delta{Tensor({2, 2}, 0.1f), Tensor({4, 3})};
+    for (int i = 0; i < 50; ++i) {
+      codes.push_back(client.PullDense(&out).code());
+      codes.push_back(client.PushDenseDelta(delta, 0.1f).code());
+    }
+    return std::make_pair(codes, client.stats());
+  };
+  const auto [codes_a, stats_a] = run(7);
+  const auto [codes_b, stats_b] = run(7);
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(stats_a.injected_unavailable, stats_b.injected_unavailable);
+  EXPECT_EQ(stats_a.dropped_pushes, stats_b.dropped_pushes);
+  EXPECT_GT(stats_a.injected_unavailable, 0u);
+  EXPECT_GT(stats_a.dropped_pushes, 0u);
+  const auto [codes_c, stats_c] = run(8);
+  EXPECT_NE(codes_a, codes_c);  // a different seed shifts the schedule
+}
+
+TEST(FaultInjectorTest, ArmedCrashFiresAtExactOpAndStaysDead) {
+  auto server = TinyServer();
+  FaultInjector client(std::make_unique<DirectPsClient>(server.get()),
+                       FaultConfig{});
+  client.ArmCrashAfterOps(3);
+  std::vector<Tensor> out{Tensor({2, 2}), Tensor({4, 3})};
+  EXPECT_TRUE(client.PullDense(&out).ok());
+  EXPECT_TRUE(client.PullDense(&out).ok());
+  EXPECT_EQ(client.PullDense(&out).code(), StatusCode::kAborted);
+  EXPECT_TRUE(client.crashed());
+  // Dead until respawned: every subsequent op aborts too.
+  EXPECT_EQ(client.PullDense(&out).code(), StatusCode::kAborted);
+  EXPECT_EQ(client.PushDenseDelta({Tensor(), Tensor()}, 0.1f).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(client.stats().crashes, 1u);
+  client.Reset();
+  EXPECT_FALSE(client.crashed());
+  EXPECT_TRUE(client.PullDense(&out).ok());
+}
+
+TEST(FaultInjectorTest, DroppedPushIsAcknowledgedButNotApplied) {
+  auto server = TinyServer();
+  FaultConfig fc;
+  fc.drop_push_prob = 1.0;  // every push silently lost
+  FaultInjector client(std::make_unique<DirectPsClient>(server.get()), fc);
+  std::vector<Tensor> delta{Tensor({2, 2}, 4.0f), Tensor({4, 3})};
+  ASSERT_TRUE(client.PushDenseDelta(delta, 1.0f).ok());  // "succeeds"
+  EXPECT_EQ(client.stats().dropped_pushes, 1u);
+  auto snap = server->SnapshotAll();
+  EXPECT_FLOAT_EQ(snap[0].at(0), 1.0f);  // value unchanged
+  // Pulls are never dropped.
+  std::vector<Tensor> out{Tensor({2, 2}), Tensor({4, 3})};
+  ASSERT_TRUE(client.PullDense(&out).ok());
+  EXPECT_FLOAT_EQ(out[0].at(0), 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos training: the full runtime under a seeded fault schedule.
+
+class ChaosTrainingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = mamdr::testing::TinyDataset(4, 150, 17);
+    mc_ = mamdr::testing::TinyModelConfig(ds_);
+  }
+
+  /// Serial-worker config so runs are bit-deterministic.
+  DistributedConfig BaseConfig(int64_t epochs = 5) {
+    DistributedConfig dc;
+    dc.num_workers = 2;
+    dc.use_embedding_cache = true;
+    dc.pool_threads = 1;
+    dc.retry = TestRetry();
+    dc.train.epochs = epochs;
+    dc.train.batch_size = 64;
+    dc.train.inner_lr = 2e-3f;
+    dc.train.outer_lr = 0.5f;
+    dc.train.seed = 5;
+    return dc;
+  }
+
+  /// Transient errors + a crash every epoch + occasional dropped pushes.
+  DistributedConfig ChaosConfig(int64_t epochs = 5) {
+    DistributedConfig dc = BaseConfig(epochs);
+    dc.fault_plan.enabled = true;
+    dc.fault_plan.faults.seed = 1234;
+    dc.fault_plan.faults.unavailable_prob = 0.05;
+    dc.fault_plan.faults.drop_push_prob = 0.05;
+    dc.fault_plan.faults.latency_prob = 0.05;
+    dc.fault_plan.faults.latency_us = 20;
+    dc.fault_plan.crash_after_ops = 9;  // mid-epoch, every epoch
+    return dc;
+  }
+
+  data::MultiDomainDataset ds_;
+  models::ModelConfig mc_;
+};
+
+TEST_F(ChaosTrainingTest, ChaosRunMatchesFaultFreeAucAndIsReproducible) {
+  DistributedMamdr clean(mc_, &ds_, BaseConfig());
+  ASSERT_TRUE(clean.Train().ok());
+  const double clean_auc = clean.AverageTestAuc();
+  EXPECT_GT(clean_auc, 0.52);
+
+  auto run_chaos = [&] {
+    auto dist = std::make_unique<DistributedMamdr>(mc_, &ds_, ChaosConfig());
+    Status s = dist->Train();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return dist;
+  };
+  auto chaos_a = run_chaos();
+
+  // The schedule actually exercised every fault class...
+  uint64_t unavailable = 0, dropped = 0, crashes = 0;
+  for (int64_t w = 0; w < chaos_a->num_workers(); ++w) {
+    const FaultStats fs = chaos_a->injector(w)->stats();
+    unavailable += fs.injected_unavailable;
+    dropped += fs.dropped_pushes;
+    crashes += fs.crashes;
+  }
+  EXPECT_GT(unavailable, 0u);
+  EXPECT_GE(dropped, 1u);    // >= one dropped push over the run
+  EXPECT_GE(crashes, 5u);    // >= one worker crash per epoch
+  EXPECT_GE(chaos_a->recovery_stats().failed_epochs, 5);
+  EXPECT_GE(chaos_a->recovery_stats().respawns, 5);
+
+  // ...and the model still converges to the fault-free quality.
+  const double chaos_auc = chaos_a->AverageTestAuc();
+  EXPECT_NEAR(chaos_auc, clean_auc, 0.01);
+
+  // Same seed, second run: bit-identical per-domain AUCs and fault counts.
+  auto chaos_b = run_chaos();
+  const auto aucs_a = chaos_a->EvaluateTest();
+  const auto aucs_b = chaos_b->EvaluateTest();
+  ASSERT_EQ(aucs_a.size(), aucs_b.size());
+  for (size_t d = 0; d < aucs_a.size(); ++d) {
+    EXPECT_EQ(aucs_a[d], aucs_b[d]) << "domain " << d;
+  }
+  for (int64_t w = 0; w < chaos_a->num_workers(); ++w) {
+    EXPECT_EQ(chaos_a->injector(w)->stats().ops,
+              chaos_b->injector(w)->stats().ops);
+    EXPECT_EQ(chaos_a->injector(w)->stats().crashes,
+              chaos_b->injector(w)->stats().crashes);
+  }
+  EXPECT_EQ(chaos_a->recovery_stats().respawns,
+            chaos_b->recovery_stats().respawns);
+}
+
+TEST_F(ChaosTrainingTest, RespawnFailureReassignsDomains) {
+  DistributedConfig dc = ChaosConfig();
+  dc.fault_plan.crash_respawn_epoch = 1;  // epoch 1's respawn dies too
+  DistributedMamdr dist(mc_, &ds_, dc);
+  Status s = dist.Train();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(dist.recovery_stats().respawn_failures, 1);
+  EXPECT_GE(dist.recovery_stats().reassigned_epochs, 1);
+  // Graceful degradation: the epoch wasn't lost and the model still learns.
+  EXPECT_GT(dist.AverageTestAuc(), 0.52);
+}
+
+TEST_F(ChaosTrainingTest, TransientErrorsAloneAreInvisibleAfterRetry) {
+  // With only retryable faults (no crashes, no drops), the retry layer makes
+  // the chaos run bit-identical to the fault-free run.
+  DistributedConfig dc = BaseConfig();
+  dc.fault_plan.enabled = true;
+  dc.fault_plan.faults.seed = 77;
+  dc.fault_plan.faults.unavailable_prob = 0.2;
+  DistributedMamdr noisy(mc_, &ds_, dc);
+  ASSERT_TRUE(noisy.Train().ok());
+
+  DistributedMamdr clean(mc_, &ds_, BaseConfig());
+  ASSERT_TRUE(clean.Train().ok());
+
+  uint64_t unavailable = 0;
+  for (int64_t w = 0; w < noisy.num_workers(); ++w) {
+    unavailable += noisy.injector(w)->stats().injected_unavailable;
+  }
+  EXPECT_GT(unavailable, 0u);
+  const auto a = noisy.EvaluateTest();
+  const auto b = clean.EvaluateTest();
+  for (size_t d = 0; d < a.size(); ++d) EXPECT_EQ(a[d], b[d]);
+}
+
+TEST_F(ChaosTrainingTest, AsyncWorkerSelfHealsAfterCrash) {
+  DistributedConfig dc = BaseConfig(/*epochs=*/4);
+  dc.async_epochs = true;
+  dc.pool_threads = 0;  // real concurrency; we only assert learning
+  dc.fault_plan.enabled = true;
+  dc.fault_plan.faults.seed = 9;
+  dc.fault_plan.faults.unavailable_prob = 0.05;
+  DistributedMamdr dist(mc_, &ds_, dc);
+  dist.injector(0)->ArmCrashAfterOps(7);  // dies mid-schedule
+  ASSERT_TRUE(dist.Train().ok());
+  EXPECT_EQ(dist.injector(0)->stats().crashes, 1u);
+  EXPECT_GT(dist.AverageTestAuc(), 0.52);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume: periodic checkpoints + crash recovery of the whole run.
+
+class KillResumeTest : public ChaosTrainingTest {
+ protected:
+  void SetUp() override {
+    ChaosTrainingTest::SetUp();
+    dir_ = (fs::temp_directory_path() /
+            ("mamdr_chaos_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(KillResumeTest, CheckpointRoundTripRestoresPsState) {
+  DistributedConfig dc = BaseConfig(/*epochs=*/2);
+  dc.checkpoint_dir = dir_;
+  DistributedMamdr dist(mc_, &ds_, dc);
+  ASSERT_TRUE(dist.Train().ok());
+  const auto before = dist.server()->SnapshotAll();
+
+  // Perturb the PS, then restore from the checkpoint written at epoch 2.
+  std::vector<Tensor> zeros;
+  zeros.reserve(before.size());
+  for (const auto& t : before) zeros.emplace_back(t.shape(), 0.0f);
+  dist.server()->RestoreAll(zeros);
+  auto resumed = dist.RestoreFromCheckpoint();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value(), 2);
+  const auto after = dist.server()->SnapshotAll();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(before[i], after[i]));
+  }
+}
+
+TEST_F(KillResumeTest, InterruptedTrainingResumesFromCheckpoint) {
+  // "Kill" after epoch 2 by running a 2-epoch process...
+  DistributedConfig killed = BaseConfig(/*epochs=*/2);
+  killed.checkpoint_dir = dir_;
+  {
+    DistributedMamdr dist(mc_, &ds_, killed);
+    ASSERT_TRUE(dist.Train().ok());
+    ASSERT_TRUE(fs::exists(dir_ + "/ps.ckpt"));
+  }
+  // ...then "restart" with the full 4-epoch budget: Train() must resume at
+  // epoch 2 and only run the remaining two.
+  DistributedConfig resumed = BaseConfig(/*epochs=*/4);
+  resumed.checkpoint_dir = dir_;
+  DistributedMamdr dist(mc_, &ds_, resumed);
+  ASSERT_TRUE(dist.Train().ok());
+  EXPECT_EQ(dist.epochs_run(), 4);
+  // Two epochs of traffic, not four: resume didn't retrain from scratch.
+  const auto stats = dist.server()->stats();
+  DistributedMamdr fresh(mc_, &ds_, BaseConfig(/*epochs=*/2));
+  ASSERT_TRUE(fresh.Train().ok());
+  EXPECT_EQ(stats.pull_ops, fresh.server()->stats().pull_ops);
+  // And the resumed model is a valid learner.
+  EXPECT_GT(dist.AverageTestAuc(), 0.52);
+}
+
+TEST_F(KillResumeTest, ChaosRunResumesToo) {
+  DistributedConfig killed = ChaosConfig(/*epochs=*/2);
+  killed.checkpoint_dir = dir_;
+  {
+    DistributedMamdr dist(mc_, &ds_, killed);
+    ASSERT_TRUE(dist.Train().ok());
+  }
+  DistributedConfig resumed = ChaosConfig(/*epochs=*/5);
+  resumed.checkpoint_dir = dir_;
+  DistributedMamdr dist(mc_, &ds_, resumed);
+  ASSERT_TRUE(dist.Train().ok());
+  EXPECT_EQ(dist.epochs_run(), 5);
+  EXPECT_GT(dist.AverageTestAuc(), 0.52);
+}
+
+TEST_F(KillResumeTest, CorruptedCheckpointRefusesToResume) {
+  DistributedConfig dc = BaseConfig(/*epochs=*/2);
+  dc.checkpoint_dir = dir_;
+  {
+    DistributedMamdr dist(mc_, &ds_, dc);
+    ASSERT_TRUE(dist.Train().ok());
+  }
+  // Flip one byte in the middle of the checkpoint.
+  const std::string path = dir_ + "/ps.ckpt";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  DistributedConfig more = BaseConfig(/*epochs=*/4);
+  more.checkpoint_dir = dir_;
+  DistributedMamdr dist(mc_, &ds_, more);
+  // Training on a corrupted checkpoint must fail loudly, not silently
+  // restart from scratch.
+  Status s = dist.Train();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  auto restore = dist.RestoreFromCheckpoint();
+  EXPECT_FALSE(restore.ok());
+}
+
+TEST_F(KillResumeTest, MissingCheckpointTrainsFromScratch) {
+  DistributedConfig dc = BaseConfig(/*epochs=*/2);
+  dc.checkpoint_dir = dir_;  // empty dir: no ps.ckpt yet
+  DistributedMamdr dist(mc_, &ds_, dc);
+  ASSERT_TRUE(dist.Train().ok());
+  EXPECT_EQ(dist.epochs_run(), 2);
+  EXPECT_TRUE(fs::exists(dir_ + "/ps.ckpt"));
+}
+
+}  // namespace
+}  // namespace ps
+}  // namespace mamdr

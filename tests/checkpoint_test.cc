@@ -1,9 +1,11 @@
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "checkpoint/checkpoint.h"
+#include "common/crc32.h"
 #include "core/mamdr.h"
 #include "models/registry.h"
 #include "tensor/tensor_ops.h"
@@ -125,6 +127,132 @@ TEST_F(CheckpointTest, StoreRoundTrip) {
   for (size_t i = 0; i < fresh.shared().size(); ++i) {
     EXPECT_TRUE(ops::AllClose(fresh.shared()[i], mamdr.store()->shared()[i]));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: a checkpoint that was truncated, bit-flipped, or saved
+// for a different layout must be rejected with a clear non-OK Status — never
+// crash, never silently load garbage.
+
+class CheckpointCorruptionTest : public CheckpointTest {
+ protected:
+  /// Bytes of a small valid checkpoint (two tensors).
+  std::string ValidImage() {
+    std::vector<std::pair<std::string, Tensor>> named{
+        {"w", Tensor::FromMatrix({{1, 2}, {3, 4}})},
+        {"b", Tensor::FromVector({5, 6})},
+    };
+    MAMDR_CHECK(SaveTensors(named, path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST_F(CheckpointCorruptionTest, TruncationAtEveryByteIsRejected) {
+  const std::string image = ValidImage();
+  ASSERT_GT(image.size(), 16u);
+  // Every prefix — which covers truncation at every section boundary
+  // (mid-magic, mid-header, mid-name, mid-shape, mid-payload, mid-footer).
+  for (size_t len = 0; len < image.size(); ++len) {
+    WriteBytes(image.substr(0, len));
+    auto loaded = LoadTensors(path_);
+    EXPECT_FALSE(loaded.ok()) << "accepted truncation to " << len << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "truncation to " << len << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, EveryFlippedByteIsRejected) {
+  const std::string image = ValidImage();
+  // CRC-32 detects any single-byte change anywhere in the file, including
+  // in the payload floats and in the footer itself.
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string corrupt = image;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    WriteBytes(corrupt);
+    auto loaded = LoadTensors(path_);
+    EXPECT_FALSE(loaded.ok()) << "accepted flipped byte at offset " << i;
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, BadMagicHasClearMessage) {
+  std::string image = ValidImage();
+  image[0] = 'X';
+  WriteBytes(image);
+  auto loaded = LoadTensors(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("not a MAMDR checkpoint"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, CrcMismatchHasClearMessage) {
+  std::string image = ValidImage();
+  image[image.size() / 2] = static_cast<char>(image[image.size() / 2] ^ 0x01);
+  WriteBytes(image);
+  auto loaded = LoadTensors(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, UnsupportedVersionIsRejected) {
+  // Version field lives right after the 8-byte magic; the CRC is recomputed
+  // so only the version check can fire.
+  std::string image = ValidImage();
+  image[8] = 99;
+  const uint32_t crc = Crc32(image.data(), image.size() - 4);
+  std::memcpy(image.data() + image.size() - 4, &crc, sizeof(crc));
+  WriteBytes(image);
+  auto loaded = LoadTensors(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, LoadModuleRejectsShapeMismatch) {
+  auto ds = mamdr::testing::TinyDataset();
+  auto mc = mamdr::testing::TinyModelConfig(ds);
+  Rng rng(5);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  ASSERT_TRUE(SaveModule(*model, path_).ok());
+
+  auto wide = mc;
+  wide.embedding_dim = 8;  // same parameter names, different shapes
+  Rng rng2(5);
+  auto other = models::CreateModel("MLP", wide, &rng2).value();
+  Status status = LoadModule(other.get(), path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST_F(CheckpointCorruptionTest, SaveIsAtomicNoTmpLeftBehind) {
+  std::vector<std::pair<std::string, Tensor>> named{
+      {"a", Tensor::FromVector({1, 2, 3})}};
+  ASSERT_TRUE(SaveTensors(named, path_).ok());
+  EXPECT_TRUE(fs::exists(path_));
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+  // Overwrite goes through the same tmp+rename path.
+  named[0].second = Tensor::FromVector({9, 9, 9});
+  ASSERT_TRUE(SaveTensors(named, path_).ok());
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+  auto loaded = LoadTensors(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FLOAT_EQ(loaded.value()[0].second.at(0), 9.0f);
+}
+
+TEST(Crc32Test, KnownVectorAndChaining) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  // Chaining across a split matches the one-shot CRC.
+  EXPECT_EQ(Crc32(s + 4, 5, Crc32(s, 4)), 0xCBF43926u);
+  EXPECT_NE(Crc32(s, 8), Crc32(s, 9));
 }
 
 }  // namespace

@@ -136,18 +136,18 @@ TEST_F(DistributedTest, TrainingLearnsSignal) {
   auto dc = MakeConfig(2, true);
   dc.train.epochs = 5;
   DistributedMamdr dist(mc_, &ds_, dc);
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   // Distributed DN must move the PS parameters toward a learning solution.
   EXPECT_GT(dist.AverageTestAuc(), 0.52);
 }
 
 TEST_F(DistributedTest, CacheReducesPulledBytes) {
   DistributedMamdr with_cache(mc_, &ds_, MakeConfig(2, true));
-  with_cache.Train();
+  ASSERT_TRUE(with_cache.Train().ok());
   const auto stats_cache = with_cache.server()->stats();
 
   DistributedMamdr no_cache(mc_, &ds_, MakeConfig(2, false));
-  no_cache.Train();
+  ASSERT_TRUE(no_cache.Train().ok());
   const auto stats_nocache = no_cache.server()->stats();
 
   // The dynamic cache deduplicates row pulls within an epoch; the baseline
@@ -159,7 +159,7 @@ TEST_F(DistributedTest, CacheReducesPulledBytes) {
 
 TEST_F(DistributedTest, CacheHitRateIsHigh) {
   DistributedMamdr dist(mc_, &ds_, MakeConfig(1, true));
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   uint64_t hits = 0, misses = 0;
   for (int64_t p = 0; p < dist.server()->num_params(); ++p) {
     if (!dist.server()->is_embedding(p)) continue;
@@ -178,7 +178,7 @@ TEST_F(DistributedTest, RunDrGivesPerDomainParameters) {
   dc.train.dr_sample_k = 1;
   dc.train.dr_max_batches = 2;
   DistributedMamdr dist(mc_, &ds_, dc);
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   // Each worker's store must hold non-zero specific params for owned domains.
   for (int64_t d = 0; d < ds_.num_domains(); ++d) {
     auto* store = dist.worker(dist.OwnerOf(d))->specific_store();
@@ -195,7 +195,7 @@ TEST_F(DistributedTest, AsyncModeLearnsWithoutBarriers) {
   dc.async_epochs = true;
   dc.train.epochs = 5;
   DistributedMamdr dist(mc_, &ds_, dc);
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   // Async pushes land on the PS from all workers without coordination;
   // the result must still be a learning model (the paper's deployment is
   // asynchronous).
@@ -212,7 +212,7 @@ TEST_F(DistributedTest, AsyncWithDrKeepsPerDomainState) {
   dc.train.dr_sample_k = 1;
   dc.train.dr_max_batches = 1;
   DistributedMamdr dist(mc_, &ds_, dc);
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   for (int64_t d = 0; d < ds_.num_domains(); ++d) {
     auto* store = dist.worker(dist.OwnerOf(d))->specific_store();
     double norm = 0.0;
@@ -223,7 +223,7 @@ TEST_F(DistributedTest, AsyncWithDrKeepsPerDomainState) {
 
 TEST_F(DistributedTest, MoreWorkersStillLearn) {
   DistributedMamdr dist(mc_, &ds_, MakeConfig(4, true));
-  dist.Train();
+  ASSERT_TRUE(dist.Train().ok());
   const auto aucs = dist.EvaluateTest();
   double sum = 0.0;
   for (double a : aucs) sum += a;

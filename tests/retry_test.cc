@@ -1,0 +1,178 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace mamdr {
+namespace {
+
+RetryConfig FastConfig() {
+  RetryConfig config;
+  config.max_attempts = 5;
+  config.initial_backoff_us = 100;
+  config.multiplier = 2.0;
+  config.max_backoff_us = 1000;
+  config.jitter = 0.25;
+  config.sleep = false;  // schedule only; no wall-clock waits in tests
+  return config;
+}
+
+TEST(RetryPolicyTest, FirstAttemptSuccessDoesNotRetry) {
+  RetryPolicy policy(FastConfig(), 1);
+  int calls = 0;
+  Status s = policy.Run(
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      "op");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(policy.last_attempts(), 1);
+  EXPECT_TRUE(policy.last_backoffs_us().empty());
+}
+
+TEST(RetryPolicyTest, RetriesTransientUntilSuccess) {
+  RetryPolicy policy(FastConfig(), 1);
+  int calls = 0;
+  Status s = policy.Run(
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      "op");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(policy.last_backoffs_us().size(), 2u);
+}
+
+TEST(RetryPolicyTest, NonRetryableErrorPassesThroughImmediately) {
+  RetryPolicy policy(FastConfig(), 1);
+  int calls = 0;
+  Status s = policy.Run(
+      [&] {
+        ++calls;
+        return Status::Aborted("crashed");
+      },
+      "op");
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy(FastConfig(), 1);
+  int calls = 0;
+  Status s = policy.Run(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      "PullDense");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 5);
+  EXPECT_NE(s.message().find("PullDense"), std::string::npos);
+  EXPECT_NE(s.message().find("5 attempt"), std::string::npos);
+}
+
+TEST(RetryPolicyTest, SameSeedGivesIdenticalAttemptSchedule) {
+  auto run_schedule = [](uint64_t seed) {
+    RetryPolicy policy(FastConfig(), seed);
+    Status s =
+        policy.Run([] { return Status::Unavailable("down"); }, "op");
+    EXPECT_FALSE(s.ok());
+    return policy.last_backoffs_us();
+  };
+  const auto a = run_schedule(42);
+  const auto b = run_schedule(42);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a, b);  // bit-identical backoffs
+  const auto c = run_schedule(43);
+  EXPECT_NE(a, c);  // different seed, different jitter
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryConfig config = FastConfig();
+  config.max_attempts = 4;
+  config.max_backoff_us = 1'000'000;  // no cap in range
+  RetryPolicy policy(config, 7);
+  Status s = policy.Run([] { return Status::Unavailable("down"); }, "op");
+  EXPECT_FALSE(s.ok());
+  const auto& backoffs = policy.last_backoffs_us();
+  ASSERT_EQ(backoffs.size(), 3u);
+  for (size_t i = 0; i < backoffs.size(); ++i) {
+    const double base = 100.0 * (1 << i);
+    EXPECT_GE(backoffs[i], static_cast<int64_t>(base * 0.75) - 1);
+    EXPECT_LE(backoffs[i], static_cast<int64_t>(base * 1.25) + 1);
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsCapped) {
+  RetryConfig config = FastConfig();
+  config.max_attempts = 8;
+  config.max_backoff_us = 150;
+  config.jitter = 0.0;
+  RetryPolicy policy(config, 7);
+  Status s = policy.Run([] { return Status::Unavailable("down"); }, "op");
+  EXPECT_FALSE(s.ok());
+  for (int64_t b : policy.last_backoffs_us()) EXPECT_LE(b, 150);
+}
+
+TEST(RetryPolicyTest, DeadlineExceededStopsEarly) {
+  RetryConfig config = FastConfig();
+  config.max_attempts = 100;
+  config.deadline_us = 500;  // exhausted after a few scheduled backoffs
+  RetryPolicy policy(config, 7);
+  int calls = 0;
+  Status s = policy.Run(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      "op");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(calls, 100);
+  EXPECT_NE(s.message().find("deadline"), std::string::npos);
+}
+
+TEST(RetryPolicyTest, IsRetryableClassifiesCodes) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::Aborted("x")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Unavailable("down"); };
+  auto wrapper = [&]() -> Status {
+    MAMDR_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsValue) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 41;
+    return Status::NotFound("missing");
+  };
+  auto add_one = [&](bool ok) -> Result<int> {
+    MAMDR_ASSIGN_OR_RETURN(int v, make(ok));
+    return v + 1;
+  };
+  auto got = add_one(true);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 42);
+  auto err = add_one(false);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, NewCodesRender) {
+  EXPECT_EQ(Status::Unavailable("ps down").ToString(),
+            "Unavailable: ps down");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Aborted("crash").ToString(), "Aborted: crash");
+}
+
+}  // namespace
+}  // namespace mamdr

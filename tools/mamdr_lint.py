@@ -23,6 +23,18 @@ the offending line):
   header-guard    headers must use the canonical include guard
                   ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
                   leading ``src/`` dropped), not ``#pragma once``.
+  ignored-status  a statement-position call to a known Status/Result-returning
+                  PS or checkpoint op (PullDense, PushRowDeltas, RunDnEpoch,
+                  LoadTensors, ...) in src/ps or src/checkpoint whose value is
+                  dropped on the floor. ``[[nodiscard]]`` catches the direct
+                  form at compile time, but not calls through an interface
+                  that predates the annotation or void wrappers; the linter
+                  closes that gap. Legitimate drops (e.g. forwarding to the
+                  void ParameterServer methods) carry the allow comment.
+                  Heuristic: only flags single-line statements (the call
+                  starts the line, parentheses balance, line ends with ;) so
+                  continuation lines of MAMDR_RETURN_IF_ERROR/assignments
+                  never false-positive.
 
 Usage:
   tools/mamdr_lint.py [--root DIR] [files...]
@@ -51,6 +63,23 @@ IOSTREAM_PRINT_RE = re.compile(r"\bstd::c(?:out|err)\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+
+# Status/Result-returning operations of the PS-Worker runtime and the
+# checkpoint layer. Extend this list when adding new fallible ops.
+STATUS_FUNCS = (
+    "PullDense", "PullRows", "PullFullTable", "PushDenseDelta",
+    "PushRowDeltas", "RunDnEpoch", "RunDnEpochOn", "RunDrPhase",
+    "RestoreFromPs", "Train", "TrainEpoch", "SaveCheckpoint",
+    "RestoreFromCheckpoint", "SaveTensors", "LoadTensors", "SaveModule",
+    "LoadModule", "SaveStore", "LoadStore",
+)
+# A line that *starts* with a (possibly qualified) call to one of the ops:
+# `client_->PullDense(...)`, `checkpoint::SaveTensors(...)`, `Train(...)`.
+# Lines starting with `return`, a type name, `if (...`, or a macro never
+# match because the anchor is at the first non-space character.
+IGNORED_STATUS_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*(?:"
+    + "|".join(STATUS_FUNCS) + r")\s*\(")
 
 
 class Finding(NamedTuple):
@@ -137,6 +166,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     hot_kernel_file = _in_dir(rel_path, "src/tensor", "src/nn")
     kernel_float_file = _in_dir(rel_path, "src/tensor")
     library_file = not _in_dir(rel_path, "tools", "bench")
+    status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
 
     for i, raw_line in enumerate(lines, start=1):
         allowed = _allowed_rules(raw_line)
@@ -166,6 +196,19 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "iostream-print",
                             "library code must not print to std::cout/cerr; "
                             "use MAMDR_LOG or return Status"))
+        if status_file and "ignored-status" not in allowed:
+            stripped = line.rstrip()
+            # Statement-position only: the call opens the line, the line is a
+            # complete statement (balanced parens, trailing ';'). Continuation
+            # lines inside MAMDR_RETURN_IF_ERROR(...)/assignments are
+            # unbalanced and skipped.
+            if (IGNORED_STATUS_RE.match(stripped)
+                    and stripped.endswith(";")
+                    and stripped.count("(") == stripped.count(")")):
+                findings.append(
+                    Finding(rel_path, i, "ignored-status",
+                            "result of a Status-returning op is discarded; "
+                            "check it or use MAMDR_RETURN_IF_ERROR"))
 
     if rel_path.endswith((".h", ".hpp")):
         findings.extend(_check_header_guard(rel_path, lines))

@@ -168,6 +168,55 @@ class HeaderGuardRule(unittest.TestCase):
         self.assertEqual(rules(findings), [])
 
 
+class IgnoredStatusRule(unittest.TestCase):
+    def test_flags_bare_call_in_ps(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/worker.cc", "  client_->PullDense(&out);\n")
+        self.assertEqual(rules(findings), ["ignored-status"])
+
+    def test_flags_namespace_qualified_call_in_checkpoint(self):
+        findings = mamdr_lint.lint_text(
+            "src/checkpoint/checkpoint.cc",
+            "  checkpoint::SaveTensors(named, path);\n")
+        self.assertEqual(rules(findings), ["ignored-status"])
+
+    def test_checked_call_is_fine(self):
+        for stmt in (
+                "  Status s = client_->PullDense(&out);\n",
+                "  return client_->PullDense(&out);\n",
+                "  MAMDR_RETURN_IF_ERROR(client_->PullDense(&out));\n",
+                "  if (!worker->RunDnEpoch().ok()) return;\n",
+        ):
+            findings = mamdr_lint.lint_text("src/ps/worker.cc", stmt)
+            self.assertEqual(rules(findings), [], stmt)
+
+    def test_continuation_line_is_not_a_statement(self):
+        # The wrapped argument of a multi-line macro/assignment starts with
+        # the op name but has unbalanced parens — must not be flagged.
+        findings = mamdr_lint.lint_text(
+            "src/ps/distributed_mamdr.cc",
+            "  MAMDR_ASSIGN_OR_RETURN(auto named,\n"
+            "                         checkpoint::LoadTensors(path));\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_outside_status_dirs_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/mamdr.cc", "  mamdr.Train();\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/ps_client.cc",
+            "  server_->PullDense(out);"
+            "  // mamdr-lint: allow(ignored-status)\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_declaration_is_not_a_call(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/worker.cc", "Status Worker::RunDnEpoch() {\n")
+        self.assertEqual(rules(findings), [])
+
+
 class TreeIntegration(unittest.TestCase):
     def test_repository_is_clean(self):
         root = mamdr_lint.os.path.dirname(
