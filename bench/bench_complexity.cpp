@@ -7,12 +7,12 @@
 // processes one batch per domain per step, so its *gradient computations*
 // per epoch also scale ~n^2 relative to a fixed batch budget (and each step
 // performs O(n^2) pairwise projections).
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "core/framework_registry.h"
+#include "obs/clock.h"
 
 using namespace mamdr;
 
@@ -38,12 +38,9 @@ int main() {
       Rng rng(mc.seed);
       auto model = models::CreateModel("MLP", mc, &rng).value();
       auto fw = core::CreateFramework(fw_name, model.get(), &ds, tc).value();
-      const auto start = std::chrono::steady_clock::now();
+      const double start = obs::MonotonicSeconds();
       fw->TrainEpoch();
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+      const double secs = obs::MonotonicSeconds() - start;
       std::printf("%-14s %8d %14lld %12lld %12.3f\n", fw_name, n,
                   static_cast<long long>(fw->domain_pass_count()),
                   static_cast<long long>(fw->batch_step_count()), secs);

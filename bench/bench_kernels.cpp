@@ -14,10 +14,12 @@
 //   --threads N   pool size for the parallel variant (0 = auto, default)
 //   --repeats N   timing repetitions per variant (default 5, best-of)
 //   --out PATH    JSON output path (default BENCH_kernels.json)
-#include <chrono>
+// Plus the global observability flags (--metrics-out/--trace-out), so a
+// bench run can emit spans alongside its JSON.
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +27,8 @@
 #include "common/flags.h"
 #include "common/parallel_for.h"
 #include "common/random.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -55,10 +59,9 @@ double TimeBest(const std::function<void()>& fn, int repeats) {
   fn();
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = obs::MonotonicSeconds();
     fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
+    const double s = obs::MonotonicSeconds() - t0;
     if (s < best) best = s;
   }
   return best;
@@ -101,7 +104,17 @@ void WriteJson(const std::string& path, int64_t parallel_threads,
                  e.threads, e.ms, e.gflops,
                  i + 1 == entries.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Where the measured time went, per kernel.variant summed over shapes —
+  // the timing breakdown consumers diff across PRs.
+  std::map<std::string, double> breakdown;
+  for (const Entry& e : entries) breakdown[e.kernel + "." + e.variant] += e.ms;
+  std::fprintf(f, "  ],\n  \"timing_breakdown_ms\": {\n");
+  size_t written = 0;
+  for (const auto& [label, ms] : breakdown) {
+    std::fprintf(f, "    \"%s\": %.4f%s\n", label.c_str(), ms,
+                 ++written == breakdown.size() ? "" : ",");
+  }
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }
@@ -115,10 +128,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   FlagParser flags = std::move(parsed).value();
+  if (Status s = ApplyGlobalFlags(flags); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
   const int64_t threads_flag = flags.GetInt("threads", 0);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
   const std::string out = flags.GetString("out", "BENCH_kernels.json");
 
+  // The bench-specific --threads flag wins over --kernel-threads.
   SetKernelThreads(threads_flag);
   const int64_t parallel_threads = KernelThreads();
   std::printf("=== kernel bench (parallel variant: %" PRId64
@@ -193,5 +211,9 @@ int main(int argc, char** argv) {
                 parallel_512 / serial_512);
   }
   WriteJson(out, parallel_threads, entries);
+  if (std::string obs_error; !obs::WriteConfiguredOutputs(&obs_error)) {
+    std::fprintf(stderr, "observability output: %s\n", obs_error.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/parallel_for.h"
+#include "obs/telemetry.h"
 
 namespace mamdr {
 
@@ -94,6 +95,18 @@ Status ApplyGlobalFlags(const FlagParser& flags) {
         std::to_string(threads.value()));
   }
   SetKernelThreads(threads.value());
+
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const bool probe_conflict = flags.GetBool("probe-conflict", false);
+  if (probe_conflict && metrics_out.empty()) {
+    return Status::InvalidArgument(
+        "--probe-conflict requires --metrics-out (the probe records into "
+        "the metrics document)");
+  }
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::ConfigureOutputs(metrics_out, trace_out, probe_conflict);
+  }
   return Status::OK();
 }
 

@@ -47,9 +47,16 @@ class FlagParser {
 };
 
 /// Applies process-wide flags shared by every CLI tool and bench. Currently:
-///   --kernel-threads N   kernel pool size (0 = hardware_concurrency,
-///                        1 = serial kernels; also accepts
-///                        --kernel_threads). See common/parallel_for.h.
+///   --kernel-threads N     kernel pool size (0 = hardware_concurrency,
+///                          1 = serial kernels; also accepts
+///                          --kernel_threads). See common/parallel_for.h.
+///   --metrics-out PATH     install a telemetry sink and write the
+///                          deterministic metrics JSON there at exit
+///                          (obs::WriteConfiguredOutputs).
+///   --trace-out PATH       start span recording and write chrome://tracing
+///                          JSON there at exit.
+///   --probe-conflict       record cross-domain gradient-conflict stats at
+///                          the start of every DN epoch (implies a sink).
 /// Returns InvalidArgument (and changes nothing) when a value is negative
 /// or not an integer.
 [[nodiscard]] Status ApplyGlobalFlags(const FlagParser& flags);

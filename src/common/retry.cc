@@ -7,8 +7,30 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace mamdr {
+
+namespace {
+// Retry behavior is a pure function of the fault plan and seeds, so these
+// counters are kStable: the chaos-telemetry test asserts exact equality
+// against the injector's own stats.
+struct RetryCounters {
+  obs::Counter* attempts;
+  obs::Counter* transient_failures;
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+};
+const RetryCounters& retry_counters() {
+  static const RetryCounters c{
+      obs::Registry::Global().counter("retry.attempts"),
+      obs::Registry::Global().counter("retry.transient_failures"),
+      obs::Registry::Global().counter("retry.retries"),
+      obs::Registry::Global().counter("retry.exhausted"),
+  };
+  return c;
+}
+}  // namespace
 
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
@@ -37,24 +59,30 @@ Status RetryPolicy::Run(const std::function<Status()>& op, const char* what) {
   last_attempts_ = 0;
   int64_t scheduled_us = 0;
   Status last = Status::OK();
+  const RetryCounters& counters = retry_counters();
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     last = op();
     ++last_attempts_;
+    counters.attempts->Add();
     if (last.ok() || !IsRetryable(last)) return last;
+    counters.transient_failures->Add();
     if (attempt + 1 >= config_.max_attempts) break;
     const int64_t backoff_us = NextBackoffUs(attempt);
     scheduled_us += backoff_us;
     if (config_.deadline_us > 0 && scheduled_us > config_.deadline_us) {
+      counters.exhausted->Add();
       return Status::DeadlineExceeded(
           std::string(what) + ": retry deadline after " +
           std::to_string(last_attempts_) + " attempt(s); last: " +
           last.ToString());
     }
     last_backoffs_us_.push_back(backoff_us);
+    counters.retries->Add();
     if (config_.sleep && backoff_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     }
   }
+  counters.exhausted->Add();
   return Status(last.code(),
                 std::string(what) + ": gave up after " +
                     std::to_string(last_attempts_) + " attempt(s); last: " +

@@ -1,8 +1,24 @@
 #include "common/thread_pool.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace mamdr {
+
+namespace {
+// Pool activity varies with thread count and scheduling, so these are
+// kRuntime: visible in the full export, excluded from the deterministic one.
+obs::Counter* tasks_submitted() {
+  static obs::Counter* c = obs::Registry::Global().counter(
+      "thread_pool.tasks_submitted", obs::Stability::kRuntime);
+  return c;
+}
+obs::Counter* tasks_failed() {
+  static obs::Counter* c = obs::Registry::Global().counter(
+      "thread_pool.tasks_failed", obs::Stability::kRuntime);
+  return c;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   MAMDR_CHECK_GT(num_threads, 0u);
@@ -22,6 +38,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted()->Add();
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
@@ -66,6 +83,7 @@ void ThreadPool::WorkerLoop() {
     try {
       task();
     } catch (...) {
+      tasks_failed()->Add();
       MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }

@@ -10,7 +10,7 @@ Alternate::Alternate(models::CtrModel* model,
   opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void Alternate::TrainEpoch() {
+void Alternate::DoTrainEpoch() {
   std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
   rng_.Shuffle(&order);

@@ -16,7 +16,7 @@ class Alternate : public Framework {
   Alternate(models::CtrModel* model, const data::MultiDomainDataset* dataset,
             TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "Alternate"; }
 
  private:

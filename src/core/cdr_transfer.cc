@@ -13,7 +13,7 @@ CdrTransfer::CdrTransfer(models::CtrModel* model,
                             optim::Snapshot(params_));
 }
 
-void CdrTransfer::TrainEpoch() {
+void CdrTransfer::DoTrainEpoch() {
   const int64_t n = dataset_->num_domains();
   for (int64_t target = 0; target < n; ++target) {
     optim::Restore(params_, per_domain_params_[static_cast<size_t>(target)]);

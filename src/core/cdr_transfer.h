@@ -23,7 +23,7 @@ class CdrTransfer : public Framework {
   CdrTransfer(models::CtrModel* model, const data::MultiDomainDataset* dataset,
               TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "CDR-Transfer"; }
   metrics::ScoreFn Scorer() override;
   bool ScorerIsThreadSafe() const override { return false; }

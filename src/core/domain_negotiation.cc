@@ -1,5 +1,6 @@
 #include "core/domain_negotiation.h"
 
+#include "obs/telemetry.h"
 #include "optim/param_snapshot.h"
 
 namespace mamdr {
@@ -12,7 +13,22 @@ DomainNegotiation::DomainNegotiation(models::CtrModel* model,
   inner_opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void DomainNegotiation::TrainEpoch() {
+void DomainNegotiation::DoTrainEpoch() {
+  // Opt-in conflict probe: measure cross-domain gradient alignment at the
+  // epoch's starting point Θ, before the inner loop moves it (§III-B).
+  if (obs::TelemetrySink* sink = obs::Sink();
+      sink != nullptr && sink->options().probe_conflict) {
+    const metrics::ConflictReport report = MeasureDomainConflict();
+    obs::ConflictRecord r;
+    r.framework = name();
+    r.epoch = static_cast<int>(epochs_completed());
+    r.mean_inner_product = report.mean_inner_product;
+    r.mean_cosine = report.mean_cosine;
+    r.conflict_rate = report.conflict_rate;
+    r.num_pairs = static_cast<int>(report.num_pairs);
+    sink->RecordConflict(std::move(r));
+  }
+
   // Θ̃₁ ← Θ (the params already hold Θ; remember it for the outer update).
   // The inner optimizer's state (Adam moments) persists across outer
   // iterations — the inner loop is one continuous optimization trajectory

@@ -26,7 +26,7 @@ class DomainNegotiation : public Framework {
                     const data::MultiDomainDataset* dataset,
                     TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "DN"; }
 
  private:

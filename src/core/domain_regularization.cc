@@ -1,5 +1,7 @@
 #include "core/domain_regularization.h"
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/param_snapshot.h"
 
 namespace mamdr {
@@ -17,7 +19,7 @@ DomainRegularization::DomainRegularization(
   }
 }
 
-void DomainRegularization::TrainEpoch() {
+void DomainRegularization::DoTrainEpoch() {
   if (external_store_ == nullptr) {
     // Standalone DR: shared parameters get a plain Alternate pass.
     SharedSpecificStore* s = store();
@@ -34,7 +36,9 @@ void DomainRegularization::TrainEpoch() {
 }
 
 void DomainRegularization::DrPhase() {
+  MAMDR_TRACE_SPAN("dr_phase");
   for (int64_t i = 0; i < dataset_->num_domains(); ++i) DrForDomain(i);
+  ++dr_phase_count_;
 }
 
 void DomainRegularization::DrForDomain(int64_t target) {
@@ -56,6 +60,14 @@ void DomainRegularization::DrForDomain(int64_t target) {
     for (size_t idx : rng_.SampleWithoutReplacement(pool.size(), k)) {
       helpers.push_back(pool[idx]);
     }
+  }
+
+  if (obs::TelemetrySink* sink = obs::Sink()) {
+    obs::DrHelperRecord r;
+    r.epoch = static_cast<int>(dr_phase_count_);
+    r.target = static_cast<int>(target);
+    for (int64_t j : helpers) r.helpers.push_back(static_cast<int>(j));
+    sink->RecordDrHelpers(std::move(r));
   }
 
   // Work on the composite Θ = θS + θ_target; θS stays frozen, so composite

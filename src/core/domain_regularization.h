@@ -32,7 +32,7 @@ class DomainRegularization : public Framework {
                        TrainConfig config,
                        SharedSpecificStore* external_store = nullptr);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "DR"; }
   metrics::ScoreFn Scorer() override;
   bool ScorerIsThreadSafe() const override { return false; }
@@ -52,6 +52,10 @@ class DomainRegularization : public Framework {
   std::unique_ptr<SharedSpecificStore> owned_store_;
   SharedSpecificStore* external_store_;
   std::unique_ptr<optim::Optimizer> shared_opt_;
+  /// Completed DrPhase() calls — the epoch index on DrHelperRecords (the
+  /// base epochs_completed_ does not advance when MAMDR calls DrPhase()
+  /// directly).
+  int64_t dr_phase_count_ = 0;
 };
 
 }  // namespace core

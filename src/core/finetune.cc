@@ -12,7 +12,7 @@ AlternateFinetune::AlternateFinetune(models::CtrModel* model,
   opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void AlternateFinetune::TrainEpoch() {
+void AlternateFinetune::DoTrainEpoch() {
   std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
   rng_.Shuffle(&order);
@@ -57,7 +57,7 @@ Separate::Separate(models::CtrModel* model,
   }
 }
 
-void Separate::TrainEpoch() {
+void Separate::DoTrainEpoch() {
   for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
     optim::Restore(params_, per_domain_params_[static_cast<size_t>(d)]);
     TrainDomainPass(d, opts_[static_cast<size_t>(d)].get());

@@ -22,7 +22,7 @@ class AlternateFinetune : public Framework {
                     const data::MultiDomainDataset* dataset,
                     TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   /// After the last epoch, call FinalizeFinetune() (Train() does this via
   /// the epoch counter) to produce the per-domain snapshots.
   std::string name() const override { return "Alternate+Finetune"; }
@@ -44,7 +44,7 @@ class Separate : public Framework {
   Separate(models::CtrModel* model, const data::MultiDomainDataset* dataset,
            TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "Separate"; }
   metrics::ScoreFn Scorer() override;
   bool ScorerIsThreadSafe() const override { return false; }

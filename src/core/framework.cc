@@ -1,10 +1,16 @@
 #include "core/framework.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "data/batch.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "optim/adagrad.h"
 #include "optim/adam.h"
+#include "optim/param_snapshot.h"
 #include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
 
 namespace mamdr {
 namespace core {
@@ -20,6 +26,33 @@ Framework::Framework(models::CtrModel* model,
   MAMDR_CHECK(dataset != nullptr);
   MAMDR_CHECK_GT(dataset->num_domains(), 0);
   params_ = model_->Parameters();
+}
+
+void Framework::TrainEpoch() {
+  obs::TelemetrySink* sink = obs::Sink();
+  if (sink != nullptr) {
+    epoch_acc_.assign(static_cast<size_t>(dataset_->num_domains()),
+                      EpochAccumulator{});
+  }
+  {
+    obs::TraceSpan span(name() + "_epoch", "core");
+    DoTrainEpoch();
+  }
+  if (sink != nullptr) {
+    for (size_t d = 0; d < epoch_acc_.size(); ++d) {
+      const EpochAccumulator& acc = epoch_acc_[d];
+      if (acc.batches == 0) continue;
+      obs::DomainEpochRecord r;
+      r.framework = name();
+      r.epoch = static_cast<int>(epochs_completed_);
+      r.domain = static_cast<int>(d);
+      r.batches = static_cast<int>(acc.batches);
+      r.mean_loss = acc.loss_sum / static_cast<double>(acc.batches);
+      r.grad_norm = std::sqrt(acc.grad_sq_sum);
+      sink->RecordDomainEpoch(std::move(r));
+    }
+  }
+  ++epochs_completed_;
 }
 
 void Framework::Train() {
@@ -40,10 +73,26 @@ metrics::ScoreFn Framework::Scorer() {
 }
 
 std::vector<double> Framework::Evaluate(metrics::Split split) {
+  obs::TraceSpan span("evaluate", "core");
   const metrics::EvalParallel policy = ScorerIsThreadSafe()
                                            ? metrics::EvalParallel::kParallel
                                            : metrics::EvalParallel::kSerial;
-  return metrics::EvaluateAllDomains(*dataset_, split, Scorer(), policy);
+  std::vector<double> aucs =
+      metrics::EvaluateAllDomains(*dataset_, split, Scorer(), policy);
+  if (obs::TelemetrySink* sink = obs::Sink()) {
+    const char* split_name = split == metrics::Split::kTrain  ? "train"
+                             : split == metrics::Split::kVal ? "val"
+                                                             : "test";
+    for (size_t d = 0; d < aucs.size(); ++d) {
+      obs::EvalRecord r;
+      r.framework = name();
+      r.split = split_name;
+      r.domain = static_cast<int>(d);
+      r.auc = aucs[d];
+      sink->RecordEval(std::move(r));
+    }
+  }
+  return aucs;
 }
 
 std::vector<double> Framework::EvaluateTest() {
@@ -64,10 +113,26 @@ int64_t Framework::TrainDomainPass(int64_t domain, optim::Optimizer* opt,
   nn::Context ctx{/*training=*/true, &rng_};
   data::Batch batch;
   int64_t batches = 0;
+  // Accumulate telemetry only when a sink is installed: the per-batch loss
+  // read and gradient-norm reduction are pure overhead otherwise.
+  const bool telemetry =
+      obs::Sink() != nullptr &&
+      domain < static_cast<int64_t>(epoch_acc_.size());
+  EpochAccumulator* acc =
+      telemetry ? &epoch_acc_[static_cast<size_t>(domain)] : nullptr;
   while (batcher.Next(&batch)) {
     opt->ZeroGrad();
     autograd::Var loss = model_->Loss(batch, domain, ctx);
     loss.Backward();
+    if (acc != nullptr) {
+      acc->loss_sum += static_cast<double>(loss.value().at(0));
+      for (const autograd::Var& p : params_) {
+        if (p.has_grad()) {
+          acc->grad_sq_sum += static_cast<double>(ops::SquaredNorm(p.grad()));
+        }
+      }
+      ++acc->batches;
+    }
     opt->Step();
     ++batches;
     if (max_batches > 0 && batches >= max_batches) break;
@@ -75,6 +140,24 @@ int64_t Framework::TrainDomainPass(int64_t domain, optim::Optimizer* opt,
   ++domain_pass_count_;
   batch_step_count_ += batches;
   return batches;
+}
+
+metrics::ConflictReport Framework::MeasureDomainConflict() {
+  obs::TraceSpan span("conflict_probe", "core");
+  // Local RNG + eval-mode context: probing must not perturb the training
+  // RNG stream, or enabling telemetry would change the training trajectory.
+  Rng probe_rng(1);
+  nn::Context ctx{/*training=*/false, &probe_rng};
+  std::vector<Tensor> grads;
+  grads.reserve(static_cast<size_t>(dataset_->num_domains()));
+  for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
+    for (auto& p : params_) p.ZeroGrad();
+    data::Batch b = data::Batcher::All(dataset_->domain(d).train);
+    model_->Loss(b, d, ctx).Backward();
+    grads.push_back(optim::Flatten(optim::GradSnapshot(params_)));
+  }
+  for (auto& p : params_) p.ZeroGrad();
+  return metrics::MeasureConflict(grads);
 }
 
 std::unique_ptr<optim::Optimizer> Framework::MakeInnerOptimizer(float lr) {

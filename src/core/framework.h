@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "metrics/conflict_probe.h"
 #include "metrics/evaluator.h"
 #include "models/ctr_model.h"
 #include "optim/optimizer.h"
@@ -60,11 +61,17 @@ class Framework {
             TrainConfig config);
   virtual ~Framework() = default;
 
-  /// One outer epoch of the algorithm.
-  virtual void TrainEpoch() = 0;
+  /// One outer epoch of the algorithm. Non-virtual wrapper: opens a trace
+  /// span named "<name>_epoch", runs the algorithm (DoTrainEpoch), then — if
+  /// a telemetry sink is installed — flushes one DomainEpochRecord per
+  /// domain trained this epoch (mean loss, batch count, gradient norm).
+  void TrainEpoch();
 
   /// config.epochs calls to TrainEpoch().
   void Train();
+
+  /// How many TrainEpoch() calls have completed on this framework.
+  int64_t epochs_completed() const { return epochs_completed_; }
 
   /// Framework name as it appears in the paper's tables.
   virtual std::string name() const = 0;
@@ -100,11 +107,22 @@ class Framework {
   virtual int64_t batch_step_count() const { return batch_step_count_; }
 
  protected:
+  /// The algorithm body of one outer epoch, implemented per framework.
+  virtual void DoTrainEpoch() = 0;
+
   /// One pass of mini-batch training on a single domain with the given
   /// optimizer. max_batches=0 means the full epoch worth of batches.
-  /// Returns the number of batches consumed.
+  /// Returns the number of batches consumed. When a telemetry sink is
+  /// installed, also accumulates per-domain loss / gradient-norm totals for
+  /// the epoch's DomainEpochRecords.
   int64_t TrainDomainPass(int64_t domain, optim::Optimizer* opt,
                           int64_t max_batches = 0);
+
+  /// Pairwise gradient-conflict statistics of the per-domain full-batch
+  /// gradients at the current parameters (§III-B diagnostics). Uses a local
+  /// RNG and eval-mode context so the training RNG stream is untouched;
+  /// leaves all parameter gradients zeroed.
+  metrics::ConflictReport MeasureDomainConflict();
 
   /// Fresh optimizer over params per config.inner_optimizer.
   std::unique_ptr<optim::Optimizer> MakeInnerOptimizer(float lr);
@@ -116,6 +134,17 @@ class Framework {
   Rng rng_;
   int64_t domain_pass_count_ = 0;
   int64_t batch_step_count_ = 0;
+  int64_t epochs_completed_ = 0;
+
+ private:
+  // Per-domain telemetry accumulators for the epoch in flight; only
+  // maintained while a telemetry sink is installed.
+  struct EpochAccumulator {
+    double loss_sum = 0.0;
+    double grad_sq_sum = 0.0;
+    int64_t batches = 0;
+  };
+  std::vector<EpochAccumulator> epoch_acc_;
 };
 
 }  // namespace core

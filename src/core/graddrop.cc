@@ -40,7 +40,7 @@ void GradDrop::MaskedDomainPass(int64_t domain, optim::Optimizer* opt) {
   batch_step_count_ += batches;
 }
 
-void GradDrop::TrainEpoch() {
+void GradDrop::DoTrainEpoch() {
   std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
   rng_.Shuffle(&order);

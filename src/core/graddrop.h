@@ -22,7 +22,7 @@ class GradDrop : public Framework {
   GradDrop(models::CtrModel* model, const data::MultiDomainDataset* dataset,
            TrainConfig config, float drop_rate = 0.2f);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "GradDrop"; }
 
   float drop_rate() const { return drop_rate_; }

@@ -16,7 +16,7 @@ Mamdr::Mamdr(models::CtrModel* model, const data::MultiDomainDataset* dataset,
                                                store_.get());
 }
 
-void Mamdr::TrainEpoch() {
+void Mamdr::DoTrainEpoch() {
   // Line 2: update θS with Domain Negotiation.
   store_->InstallShared();
   dn_->TrainEpoch();

@@ -19,7 +19,7 @@ class Mamdr : public Framework {
         TrainConfig config);
 
   /// Algorithm 3 body: line 2 (DN on θS), lines 3-5 (DR on every θᵢ).
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "MAMDR"; }
   metrics::ScoreFn Scorer() override;
   bool ScorerIsThreadSafe() const override { return false; }

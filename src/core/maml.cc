@@ -22,7 +22,7 @@ Maml::Maml(models::CtrModel* model, const data::MultiDomainDataset* dataset,
   meta_opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void Maml::TrainEpoch() {
+void Maml::DoTrainEpoch() {
   nn::Context ctx{/*training=*/true, &rng_};
   std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);

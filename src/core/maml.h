@@ -21,7 +21,7 @@ class Maml : public Framework {
   Maml(models::CtrModel* model, const data::MultiDomainDataset* dataset,
        TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "MAML"; }
 
  private:

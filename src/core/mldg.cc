@@ -14,7 +14,7 @@ Mldg::Mldg(models::CtrModel* model, const data::MultiDomainDataset* dataset,
   opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void Mldg::TrainEpoch() {
+void Mldg::DoTrainEpoch() {
   const int64_t n = dataset_->num_domains();
   nn::Context ctx{/*training=*/true, &rng_};
   // Number of meta-steps per epoch scales with total batches.

@@ -19,7 +19,7 @@ class Mldg : public Framework {
   Mldg(models::CtrModel* model, const data::MultiDomainDataset* dataset,
        TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "MLDG"; }
 
  private:

@@ -13,7 +13,7 @@ PcGrad::PcGrad(models::CtrModel* model,
   opt_ = MakeInnerOptimizer(config_.inner_lr);
 }
 
-void PcGrad::TrainEpoch() {
+void PcGrad::DoTrainEpoch() {
   const int64_t n = dataset_->num_domains();
   std::vector<data::Batcher> batchers;
   batchers.reserve(static_cast<size_t>(n));

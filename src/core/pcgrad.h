@@ -19,7 +19,7 @@ class PcGrad : public Framework {
   PcGrad(models::CtrModel* model, const data::MultiDomainDataset* dataset,
          TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "PCGrad"; }
 
  private:

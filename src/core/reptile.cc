@@ -9,7 +9,7 @@ Reptile::Reptile(models::CtrModel* model,
                  const data::MultiDomainDataset* dataset, TrainConfig config)
     : Framework(model, dataset, std::move(config)) {}
 
-void Reptile::TrainEpoch() {
+void Reptile::DoTrainEpoch() {
   std::vector<int64_t> order(static_cast<size_t>(dataset_->num_domains()));
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
   rng_.Shuffle(&order);

@@ -18,7 +18,7 @@ class Reptile : public Framework {
   Reptile(models::CtrModel* model, const data::MultiDomainDataset* dataset,
           TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "Reptile"; }
 };
 

@@ -24,7 +24,7 @@ WeightedLoss::WeightedLoss(models::CtrModel* model,
   params_ = model_->Parameters();  // restore: meta-utilities see model params
 }
 
-void WeightedLoss::TrainEpoch() {
+void WeightedLoss::DoTrainEpoch() {
   // Interleave batches across domains so weights adapt jointly.
   std::vector<data::Batcher> batchers;
   batchers.reserve(static_cast<size_t>(dataset_->num_domains()));

@@ -19,7 +19,7 @@ class WeightedLoss : public Framework {
   WeightedLoss(models::CtrModel* model,
                const data::MultiDomainDataset* dataset, TrainConfig config);
 
-  void TrainEpoch() override;
+  void DoTrainEpoch() override;
   std::string name() const override { return "Weighted Loss"; }
 
   /// Current weight exp(-s_d) of a domain (introspection / tests).

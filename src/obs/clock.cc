@@ -1,0 +1,21 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace mamdr {
+namespace obs {
+
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace mamdr

@@ -1,0 +1,26 @@
+// The project's only blessed monotonic clock access.
+//
+// Every duration measured in the tree flows through these helpers (the
+// mamdr_lint raw-clock rule forbids direct steady_clock::now() outside
+// src/obs/ and src/common/), so timing policy — which clock, which unit —
+// lives in exactly one place and trace timestamps are comparable across
+// layers.
+#ifndef MAMDR_OBS_CLOCK_H_
+#define MAMDR_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace mamdr {
+namespace obs {
+
+/// Monotonic timestamp in microseconds since an arbitrary process epoch.
+/// Never goes backwards; unaffected by wall-clock adjustments.
+int64_t MonotonicMicros();
+
+/// Monotonic timestamp in seconds (double), for bench-style wall timing.
+double MonotonicSeconds();
+
+}  // namespace obs
+}  // namespace mamdr
+
+#endif  // MAMDR_OBS_CLOCK_H_

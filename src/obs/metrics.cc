@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mamdr {
+namespace obs {
+
+namespace internal {
+void Fail(const char* what) {
+  std::fprintf(stderr, "mamdr/obs fatal: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
+
+void Histogram::Observe(double x) {
+  // Linear scan: bucket counts are small (<= ~32) and the layouts used for
+  // durations are exponential, so the scan is a handful of compares — cheaper
+  // than a branchy binary search at this size.
+  size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + x, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i < s.counts.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  if (start <= 0.0 || factor <= 1.0 || n <= 0) {
+    internal::Fail("Histogram::ExponentialBounds: bad layout");
+  }
+  std::vector<double> b;
+  b.reserve(static_cast<size_t>(n));
+  double edge = start;
+  for (int i = 0; i < n; ++i) {
+    b.push_back(edge);
+    edge *= factor;
+  }
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bounds, Stability s)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      stability_(s) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1])) {
+      internal::Fail("Histogram: bounds must be strictly increasing");
+    }
+  }
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: see header
+  return *g;
+}
+
+Counter* Registry::counter(const std::string& name, Stability s) {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    if (gauges_.count(name) || histograms_.count(name)) {
+      internal::Fail("Registry: metric re-registered as a different kind");
+    }
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(s)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, Stability s) {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    if (counters_.count(name) || histograms_.count(name)) {
+      internal::Fail("Registry: metric re-registered as a different kind");
+    }
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(s))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds, Stability s) {
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (counters_.count(name) || gauges_.count(name)) {
+      internal::Fail("Registry: metric re-registered as a different kind");
+    }
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(std::move(bounds), s)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::Reset() {
+  MutexLock lock(&mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Registry::ToJson(bool include_runtime) const {
+  MutexLock lock(&mu_);
+  std::string out = "{";
+  char buf[64];
+
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& kv : counters_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(kv.first, &out);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, kv.second->value());
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& kv : gauges_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(kv.first, &out);
+    out.push_back(':');
+    out += JsonDouble(kv.second->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& kv : histograms_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(kv.first, &out);
+    Histogram::Snapshot s = kv.second->snapshot();
+    out += ":{\"bounds\":[";
+    for (size_t i = 0; i < s.bounds.size(); ++i) {
+      if (i) out.push_back(',');
+      out += JsonDouble(s.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < s.counts.size(); ++i) {
+      if (i) out.push_back(',');
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, s.counts[i]);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"count\":%" PRIu64, s.count);
+    out += buf;
+    out += ",\"sum\":";
+    out += JsonDouble(s.sum);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mamdr

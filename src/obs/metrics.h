@@ -1,0 +1,168 @@
+// Lock-cheap metrics registry: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design goals, in order:
+//   1. Recording is cheap enough for training hot paths: every metric value
+//      is a relaxed std::atomic, so Add/Set/Observe never take a lock.
+//      Looking a metric *up* by name takes the registry mutex once — hot
+//      paths cache the returned pointer (metric objects live as long as the
+//      registry and never move).
+//   2. Snapshots are deterministic: metrics are stored in name-sorted maps,
+//      so two runs that record the same values serialize to byte-identical
+//      JSON. Metrics whose values legitimately depend on scheduling or
+//      thread count (timings, pool task counts) are registered as
+//      Stability::kRuntime and excluded from the deterministic export; the
+//      golden-run test asserts the remaining output is bit-identical across
+//      runs and kernel-thread counts.
+//   3. No dependencies beyond header-only common/ primitives, so every
+//      layer (including common/ itself) can link against obs without
+//      cycles.
+//
+// The process-global registry (Registry::Global()) is what the --metrics-out
+// flag exports; tests may construct private registries.
+#ifndef MAMDR_OBS_METRICS_H_
+#define MAMDR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mamdr {
+namespace obs {
+
+/// Whether a metric's value is a pure function of (seed, config) — kStable —
+/// or may vary with scheduling, thread count, or wall time — kRuntime.
+/// kRuntime metrics are excluded from the deterministic JSON export.
+enum class Stability { kStable, kRuntime };
+
+/// Monotonic event count. All operations are lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  Stability stability() const { return stability_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(Stability s) : stability_(s) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> value_{0};
+  const Stability stability_;
+};
+
+/// Last-write-wins scalar. All operations are lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  Stability stability() const { return stability_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(Stability s) : stability_(s) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+  const Stability stability_;
+};
+
+/// Fixed-layout histogram: `bounds` are the inclusive upper edges of the
+/// first bounds.size() buckets; one overflow bucket catches the rest. The
+/// layout is fixed at registration so snapshots from different runs are
+/// directly comparable. Observe() is lock-free.
+class Histogram {
+ public:
+  void Observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1 entries
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  Stability stability() const { return stability_; }
+
+  /// Upper edges 'start * factor^i' for i in [0, n): the standard layout
+  /// for duration metrics.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+
+ private:
+  friend class Registry;
+  Histogram(std::vector<double> bounds, Stability s);
+  void Reset();
+
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  const Stability stability_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry; never destroyed (worker threads may record
+  /// during static teardown).
+  static Registry& Global();
+
+  /// Find-or-create by name. The returned pointer is stable for the
+  /// registry's lifetime — cache it on hot paths. The stability class is
+  /// fixed by the first registration; re-registering the same name as a
+  /// different metric kind aborts.
+  Counter* counter(const std::string& name,
+                   Stability s = Stability::kStable) MAMDR_EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name,
+               Stability s = Stability::kStable) MAMDR_EXCLUDES(mu_);
+  Histogram* histogram(const std::string& name, std::vector<double> bounds,
+                       Stability s = Stability::kRuntime)
+      MAMDR_EXCLUDES(mu_);
+
+  /// Zero every registered metric (tests and in-process golden reruns).
+  /// Registered names and layouts survive — pointers stay valid.
+  void Reset() MAMDR_EXCLUDES(mu_);
+
+  /// Deterministic JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}: names sorted, doubles printed with %.17g.
+  /// include_runtime=false (the golden/deterministic mode) omits every
+  /// Stability::kRuntime metric.
+  std::string ToJson(bool include_runtime) const MAMDR_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MAMDR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MAMDR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MAMDR_GUARDED_BY(mu_);
+};
+
+/// Format a double exactly enough to round-trip (%.17g); non-finite values
+/// serialize as JSON null so the output always parses.
+std::string JsonDouble(double v);
+
+/// Append a JSON string literal (quotes + escapes) to *out.
+void AppendJsonString(const std::string& s, std::string* out);
+
+namespace internal {
+/// Minimal fatal error for the obs layer (which cannot depend on
+/// common/logging): prints to stderr and aborts.
+[[noreturn]] void Fail(const char* what);
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace mamdr
+
+#endif  // MAMDR_OBS_METRICS_H_

@@ -1,0 +1,142 @@
+// Structured per-domain / per-epoch training telemetry.
+//
+// A TelemetrySink collects typed records that training loops append to:
+//   - DomainEpochRecord: one per (framework epoch, domain) — loss, grad norm
+//   - EvalRecord:        one per (evaluation, domain) — AUC per split
+//   - ConflictRecord:    one per DN epoch when conflict probing is on —
+//                        cross-domain gradient inner products / cosines
+//   - DrHelperRecord:    one per DR target pass — which helper domains were
+//                        sampled (paper Alg. 2 line 4)
+//
+// Frameworks only record when a sink is installed (obs::Sink() != nullptr),
+// so the default configuration does no telemetry work at all. Records carry
+// no timestamps — given a fixed seed their serialization is bit-identical
+// across runs and thread counts, which MetricsJson() below relies on.
+#ifndef MAMDR_OBS_TELEMETRY_H_
+#define MAMDR_OBS_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace mamdr {
+namespace obs {
+
+struct DomainEpochRecord {
+  std::string framework;  // e.g. "dn", "mamdr"
+  int epoch = 0;          // framework-local epoch index (0-based)
+  int domain = 0;
+  int batches = 0;
+  double mean_loss = 0.0;
+  double grad_norm = 0.0;  // L2 norm of the summed per-batch gradients
+};
+
+struct EvalRecord {
+  std::string framework;
+  std::string split;  // "train" | "val" | "test"
+  int domain = 0;
+  double auc = 0.0;
+};
+
+struct ConflictRecord {
+  std::string framework;
+  int epoch = 0;
+  double mean_inner_product = 0.0;
+  double mean_cosine = 0.0;
+  double conflict_rate = 0.0;
+  int num_pairs = 0;
+};
+
+struct DrHelperRecord {
+  int epoch = 0;   // DR-phase index (0-based)
+  int target = 0;  // target domain i
+  std::vector<int> helpers;  // sampled helper domain ids, in draw order
+};
+
+struct TelemetryOptions {
+  // Measure cross-domain gradient conflict (metrics/conflict_probe) at the
+  // start of every DN epoch. Costs one full-batch backward pass per domain
+  // per epoch, so it is opt-in (--probe-conflict).
+  bool probe_conflict = false;
+};
+
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(TelemetryOptions options = {})
+      : options_(options) {}
+
+  const TelemetryOptions& options() const { return options_; }
+
+  void RecordDomainEpoch(DomainEpochRecord r) MAMDR_EXCLUDES(mu_);
+  void RecordEval(EvalRecord r) MAMDR_EXCLUDES(mu_);
+  void RecordConflict(ConflictRecord r) MAMDR_EXCLUDES(mu_);
+  void RecordDrHelpers(DrHelperRecord r) MAMDR_EXCLUDES(mu_);
+
+  std::vector<DomainEpochRecord> domain_epochs() const MAMDR_EXCLUDES(mu_);
+  std::vector<EvalRecord> evals() const MAMDR_EXCLUDES(mu_);
+  std::vector<ConflictRecord> conflicts() const MAMDR_EXCLUDES(mu_);
+  std::vector<DrHelperRecord> dr_helpers() const MAMDR_EXCLUDES(mu_);
+
+  void Clear() MAMDR_EXCLUDES(mu_);
+
+  /// JSON object {"domain_epochs":[...],"evals":[...],...} with records in
+  /// append order and doubles printed with %.17g.
+  std::string ToJson() const MAMDR_EXCLUDES(mu_);
+
+ private:
+  const TelemetryOptions options_;
+  mutable Mutex mu_;
+  std::vector<DomainEpochRecord> domain_epochs_ MAMDR_GUARDED_BY(mu_);
+  std::vector<EvalRecord> evals_ MAMDR_GUARDED_BY(mu_);
+  std::vector<ConflictRecord> conflicts_ MAMDR_GUARDED_BY(mu_);
+  std::vector<DrHelperRecord> dr_helpers_ MAMDR_GUARDED_BY(mu_);
+};
+
+/// Install/read the process-wide sink. The sink is borrowed, not owned —
+/// the caller keeps it alive while installed. Pass nullptr to uninstall.
+void SetSink(TelemetrySink* sink);
+TelemetrySink* Sink();
+
+/// RAII install/uninstall for tests.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TelemetrySink* sink) : previous_(Sink()) {
+    SetSink(sink);
+  }
+  ~ScopedSink() { SetSink(previous_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TelemetrySink* previous_;
+};
+
+/// The full --metrics-out document:
+///   {"schema":"mamdr.metrics.v1","counters":...,"gauges":...,
+///    "histograms":...,"telemetry":{...}}
+/// include_runtime=false yields the deterministic (golden-testable) form.
+/// `sink` may be null (telemetry sections are then empty arrays).
+std::string MetricsJson(const Registry& registry, const TelemetrySink* sink,
+                        bool include_runtime);
+
+/// Process-global output configuration backing --metrics-out / --trace-out /
+/// --probe-conflict. ConfigureOutputs installs a leaked default sink (when
+/// metrics_path is non-empty) and calls StartTracing() (when trace_path is
+/// non-empty); WriteConfiguredOutputs renders and writes the files at tool
+/// exit. Returns false and sets *error on I/O failure.
+void ConfigureOutputs(const std::string& metrics_path,
+                      const std::string& trace_path, bool probe_conflict);
+bool WriteConfiguredOutputs(std::string* error);
+
+/// Write `contents` to `path` (truncating). Returns false + *error on
+/// failure. Exposed for tools that write their own JSON artifacts.
+bool WriteFile(const std::string& path, const std::string& contents,
+               std::string* error);
+
+}  // namespace obs
+}  // namespace mamdr
+
+#endif  // MAMDR_OBS_TELEMETRY_H_

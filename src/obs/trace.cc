@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace mamdr {
+namespace obs {
+namespace {
+
+// Hard cap on buffered spans: at ~80 bytes/event this bounds the recorder at
+// roughly 80 MB, enough for hours of epoch-granularity spans but a backstop
+// against an accidentally traced per-element hot loop.
+constexpr size_t kMaxEvents = 1u << 20;
+
+struct Event {
+  std::string name;
+  const char* category;
+  int64_t ts_us;   // relative to trace start
+  int64_t dur_us;
+  int tid;
+};
+
+struct Recorder {
+  Mutex mu;
+  std::vector<Event> events MAMDR_GUARDED_BY(mu);
+  uint64_t dropped MAMDR_GUARDED_BY(mu) = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<int64_t> g_base_us{0};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder();  // leaked: spans may end at exit
+  return *r;
+}
+
+// Small dense thread ids so the Chrome viewer groups rows sensibly; the
+// first thread to record gets tid 0, and ids are process-lifetime stable.
+int CurrentTid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Record(std::string name, const char* category, int64_t start_us,
+            int64_t end_us) {
+  Recorder& r = recorder();
+  MutexLock lock(&r.mu);
+  if (r.events.size() >= kMaxEvents) {
+    ++r.dropped;
+    return;
+  }
+  Event e;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = start_us - g_base_us.load(std::memory_order_relaxed);
+  e.dur_us = end_us - start_us;
+  e.tid = CurrentTid();
+  r.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void StartTracing() {
+  Recorder& r = recorder();
+  {
+    MutexLock lock(&r.mu);
+    r.events.clear();
+    r.dropped = 0;
+  }
+  g_base_us.store(MonotonicMicros(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() { g_enabled.store(false, std::memory_order_release); }
+
+bool TracingEnabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+size_t TraceEventCount() {
+  Recorder& r = recorder();
+  MutexLock lock(&r.mu);
+  return r.events.size();
+}
+
+uint64_t TraceDroppedCount() {
+  Recorder& r = recorder();
+  MutexLock lock(&r.mu);
+  return r.dropped;
+}
+
+std::string TraceJson() {
+  Recorder& r = recorder();
+  MutexLock lock(&r.mu);
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const Event& e : r.events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(e.name, &out);
+    out += ",\"cat\":";
+    AppendJsonString(e.category, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
+                  ",\"pid\":1,\"tid\":%d}",
+                  e.ts_us, e.dur_us, e.tid);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category) {
+  if (!TracingEnabled()) return;
+  literal_name_ = name;
+  category_ = category;
+  start_us_ = MonotonicMicros();
+}
+
+TraceSpan::TraceSpan(const std::string& name, const char* category) {
+  if (!TracingEnabled()) return;
+  owned_name_ = name;
+  category_ = category;
+  start_us_ = MonotonicMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0 || !TracingEnabled()) return;
+  int64_t end_us = MonotonicMicros();
+  Record(literal_name_ ? std::string(literal_name_) : std::move(owned_name_),
+         category_, start_us_, end_us);
+}
+
+}  // namespace obs
+}  // namespace mamdr

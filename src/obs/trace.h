@@ -1,0 +1,75 @@
+// Scoped trace spans exporting Chrome chrome://tracing JSON.
+//
+// Usage:
+//   MAMDR_TRACE_SPAN("dn_epoch");          // span covers enclosing scope
+//   TraceSpan span("pull", "ps");          // explicit object, category "ps"
+//
+// Tracing is off by default; when off, a span construction is one relaxed
+// atomic load and no allocation (the const char* overloads keep the name as
+// a pointer until the span is actually recorded). StartTracing()/
+// StopTracing() bracket a recording; TraceJson() renders the collected
+// events as a Chrome trace ({"traceEvents":[...]}, "ph":"X" complete
+// events, ts/dur in microseconds relative to the StartTracing() call).
+//
+// Trace timestamps are wall-time and therefore never part of the
+// deterministic metrics export — traces are a debugging surface, metrics
+// are the golden-tested one.
+#ifndef MAMDR_OBS_TRACE_H_
+#define MAMDR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mamdr {
+namespace obs {
+
+/// Begin collecting spans (clears any previous recording and re-bases
+/// timestamps at "now"). Thread-safe.
+void StartTracing();
+
+/// Stop collecting. Spans that end after this call are dropped.
+void StopTracing();
+
+bool TracingEnabled();
+
+/// Number of spans recorded since StartTracing(), and how many were thrown
+/// away because the in-memory buffer was full.
+size_t TraceEventCount();
+uint64_t TraceDroppedCount();
+
+/// Render the recording as a chrome://tracing JSON document.
+std::string TraceJson();
+
+/// RAII span: records a "ph":"X" complete event covering its lifetime.
+/// Safe to construct whether or not tracing is enabled.
+class TraceSpan {
+ public:
+  /// Name must be a string literal (kept as a pointer; only copied if the
+  /// span is recorded).
+  explicit TraceSpan(const char* name, const char* category = "mamdr");
+  /// For dynamically-built names (e.g. per-domain): copies eagerly, but
+  /// only when tracing is enabled.
+  explicit TraceSpan(const std::string& name, const char* category = "mamdr");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* literal_name_ = nullptr;  // literal ctor, if recording
+  std::string owned_name_;              // string ctor, if recording
+  const char* category_ = nullptr;
+  int64_t start_us_ = -1;  // -1: tracing was off at construction
+};
+
+#define MAMDR_OBS_CONCAT_INNER(a, b) a##b
+#define MAMDR_OBS_CONCAT(a, b) MAMDR_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define MAMDR_TRACE_SPAN(name) \
+  ::mamdr::obs::TraceSpan MAMDR_OBS_CONCAT(mamdr_trace_span_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace mamdr
+
+#endif  // MAMDR_OBS_TRACE_H_

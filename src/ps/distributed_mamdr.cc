@@ -8,10 +8,36 @@
 #include "common/logging.h"
 #include "metrics/auc.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/param_snapshot.h"
 
 namespace mamdr {
 namespace ps {
+
+namespace {
+// Recovery outcomes are a pure function of the fault plan (kStable); the
+// chaos-telemetry test asserts they match RecoveryStats exactly.
+struct RecoveryCounters {
+  obs::Counter* failed_epochs;
+  obs::Counter* respawns;
+  obs::Counter* respawn_failures;
+  obs::Counter* reassigned_epochs;
+  obs::Counter* checkpoint_saves;
+  obs::Counter* checkpoint_restores;
+};
+const RecoveryCounters& recovery_counters() {
+  static const RecoveryCounters c{
+      obs::Registry::Global().counter("ps.recovery.failed_epochs"),
+      obs::Registry::Global().counter("ps.recovery.respawns"),
+      obs::Registry::Global().counter("ps.recovery.respawn_failures"),
+      obs::Registry::Global().counter("ps.recovery.reassigned_epochs"),
+      obs::Registry::Global().counter("ps.checkpoint.saves"),
+      obs::Registry::Global().counter("ps.checkpoint.restores"),
+  };
+  return c;
+}
+}  // namespace
 
 DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
                                    const data::MultiDomainDataset* dataset,
@@ -107,6 +133,7 @@ Status DistributedMamdr::RespawnAndRerun(size_t i, bool crash_again) {
 }
 
 Status DistributedMamdr::TrainEpoch() {
+  MAMDR_TRACE_SPAN("distributed_epoch");
   const int64_t epoch = epochs_run_;
   // Arm this epoch's scheduled crash on the round-robin victim.
   if (config_.fault_plan.enabled && config_.fault_plan.crash_after_ops > 0) {
@@ -128,18 +155,22 @@ Status DistributedMamdr::TrainEpoch() {
   // Recovery pass: respawn failed workers; reassign domains when the
   // respawn dies too, so the epoch degrades gracefully instead of being
   // lost for those domains.
+  const RecoveryCounters& counters = recovery_counters();
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (results[i].ok()) continue;
     ++recovery_.failed_epochs;
+    counters.failed_epochs->Add();
     MAMDR_LOG(Warning) << "worker " << i << " failed epoch " << epoch << ": "
                        << results[i].ToString();
     const bool crash_again = epoch == config_.fault_plan.crash_respawn_epoch;
     Status respawned = RespawnAndRerun(i, crash_again);
     if (respawned.ok()) {
       ++recovery_.respawns;
+      counters.respawns->Add();
       continue;
     }
     ++recovery_.respawn_failures;
+    counters.respawn_failures->Add();
     MAMDR_LOG(Warning) << "worker " << i << " respawn failed: "
                        << respawned.ToString();
     // Find a worker that completed this epoch to adopt the domains.
@@ -151,6 +182,7 @@ Status DistributedMamdr::TrainEpoch() {
     }
     if (!adopted.ok()) return adopted;  // epoch unsalvageable
     ++recovery_.reassigned_epochs;
+    counters.reassigned_epochs->Add();
   }
   // Disarm any leftover crash schedule and revive dead workers: next epoch
   // starts from a clean fault state (the next scheduled crash re-arms).
@@ -160,6 +192,7 @@ Status DistributedMamdr::TrainEpoch() {
   ++epochs_run_;
 
   if (config_.run_dr) {
+    MAMDR_TRACE_SPAN("distributed_dr_phase");
     std::vector<Status> dr_results(workers_.size());
     for (size_t i = 0; i < workers_.size(); ++i) {
       Worker* wp = workers_[i].get();
@@ -241,7 +274,9 @@ Status DistributedMamdr::Train() {
 }
 
 Status DistributedMamdr::SaveCheckpoint(int64_t completed_epochs) {
+  MAMDR_TRACE_SPAN("checkpoint_save");
   MAMDR_CHECK(!config_.checkpoint_dir.empty());
+  recovery_counters().checkpoint_saves->Add();
   std::vector<std::pair<std::string, Tensor>> named;
   named.emplace_back("epoch",
                      Tensor({1}, static_cast<float>(completed_epochs)));
@@ -285,6 +320,7 @@ Result<int64_t> DistributedMamdr::RestoreFromCheckpoint() {
     restored.push_back(*it->second);
   }
   server_->RestoreAll(restored);
+  recovery_counters().checkpoint_restores->Add();
   return epoch;
 }
 

@@ -4,9 +4,33 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace mamdr {
 namespace ps {
+
+namespace {
+// Mirrors of FaultStats in the global registry so chaos tests can assert
+// that observability and fault injection agree. Injection schedules are
+// pure functions of the fault plan, so these are kStable.
+struct FaultCounters {
+  obs::Counter* ops;
+  obs::Counter* injected_unavailable;
+  obs::Counter* injected_latency;
+  obs::Counter* dropped_pushes;
+  obs::Counter* crashes;
+};
+const FaultCounters& fault_counters() {
+  static const FaultCounters c{
+      obs::Registry::Global().counter("ps.fault.ops"),
+      obs::Registry::Global().counter("ps.fault.injected_unavailable"),
+      obs::Registry::Global().counter("ps.fault.injected_latency"),
+      obs::Registry::Global().counter("ps.fault.dropped_pushes"),
+      obs::Registry::Global().counter("ps.fault.crashes"),
+  };
+  return c;
+}
+}  // namespace
 
 FaultInjector::FaultInjector(std::unique_ptr<PsClient> inner,
                              FaultConfig config)
@@ -39,9 +63,11 @@ FaultStats FaultInjector::stats() const {
 FaultInjector::Decision FaultInjector::Enter(bool is_push) {
   bool sleep_now = false;
   Decision d;
+  const FaultCounters& counters = fault_counters();
   {
     MutexLock lock(&mu_);
     ++stats_.ops;
+    counters.ops->Add();
     if (crashed_) {
       d.crash = true;
       return d;
@@ -49,6 +75,7 @@ FaultInjector::Decision FaultInjector::Enter(bool is_push) {
     if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
       crashed_ = true;
       ++stats_.crashes;
+      counters.crashes->Add();
       d.crash = true;
       return d;
     }
@@ -58,15 +85,18 @@ FaultInjector::Decision FaultInjector::Enter(bool is_push) {
     const bool latency = rng_.Bernoulli(config_.latency_prob);
     if (unavailable) {
       ++stats_.injected_unavailable;
+      counters.injected_unavailable->Add();
       d.unavailable = true;
       return d;
     }
     if (is_push && drop) {
       ++stats_.dropped_pushes;
+      counters.dropped_pushes->Add();
       d.drop = true;
     }
     if (latency) {
       ++stats_.injected_latency;
+      counters.injected_latency->Add();
       sleep_now = true;
     }
   }

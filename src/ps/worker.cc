@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "data/batch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/param_snapshot.h"
 #include "tensor/tensor_ops.h"
@@ -117,6 +119,9 @@ const EmbeddingCache& Worker::cache(int64_t param_index) const {
 }
 
 Status Worker::CallPs(const char* what, const std::function<Status()>& op) {
+  static obs::Counter* ps_calls =
+      obs::Registry::Global().counter("ps.worker.calls");
+  ps_calls->Add();
   return retry_.Run(op, what);
 }
 
@@ -169,6 +174,7 @@ Status Worker::PushBatchEmbeddingGrads(const data::Batch& batch) {
 Status Worker::RunDnEpoch() { return RunDnEpochOn(config_.domains); }
 
 Status Worker::RunDnEpochOn(const std::vector<int64_t>& domains) {
+  obs::TraceSpan span("worker_dn_epoch", "ps");
   // (1)-(2): pull dense parameters from the PS into the local replica; the
   // pulled values are the static-cache base Θ for the outer update.
   std::vector<Tensor> views;
@@ -231,6 +237,7 @@ Status Worker::RunDnEpochOn(const std::vector<int64_t>& domains) {
 
 Status Worker::RunDrPhase() {
   if (!config_.run_dr) return Status::OK();
+  obs::TraceSpan span("worker_dr_phase", "ps");
   // Refresh the full parameter state from the PS as the shared basis θS.
   MAMDR_RETURN_IF_ERROR(RestoreFromPs());
   store_->UpdateSharedFromParams();
@@ -239,6 +246,10 @@ Status Worker::RunDrPhase() {
 }
 
 Status Worker::RestoreFromPs() {
+  obs::TraceSpan span("worker_restore_from_ps", "ps");
+  static obs::Counter* restores =
+      obs::Registry::Global().counter("ps.worker.restores");
+  restores->Add();
   std::vector<Tensor> views;
   views.reserve(params_.size());
   for (auto& p : params_) views.push_back(p.mutable_value());

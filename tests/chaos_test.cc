@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "ps/distributed_mamdr.h"
 #include "tensor/tensor_ops.h"
 #include "test_util.h"
@@ -245,6 +246,53 @@ TEST_F(ChaosTrainingTest, TransientErrorsAloneAreInvisibleAfterRetry) {
   for (size_t d = 0; d < a.size(); ++d) EXPECT_EQ(a[d], b[d]);
 }
 
+TEST_F(ChaosTrainingTest, MetricsCountersMatchInjectorAndRecoveryStats) {
+  // The fault/retry/recovery counters are process-global; reset so this
+  // test sees only its own run.
+  obs::Registry::Global().Reset();
+
+  DistributedMamdr dist(mc_, &ds_, ChaosConfig());
+  ASSERT_TRUE(dist.Train().ok());
+
+  uint64_t ops = 0, unavailable = 0, latency = 0, dropped = 0, crashes = 0;
+  for (int64_t w = 0; w < dist.num_workers(); ++w) {
+    const FaultStats fs = dist.injector(w)->stats();
+    ops += fs.ops;
+    unavailable += fs.injected_unavailable;
+    latency += fs.injected_latency;
+    dropped += fs.dropped_pushes;
+    crashes += fs.crashes;
+  }
+  ASSERT_GT(unavailable, 0u);  // the plan actually injected faults
+  ASSERT_GE(crashes, 5u);
+
+  // The ps.fault.* counters mirror the injectors' own accounting exactly.
+  obs::Registry& reg = obs::Registry::Global();
+  EXPECT_EQ(reg.counter("ps.fault.ops")->value(), ops);
+  EXPECT_EQ(reg.counter("ps.fault.injected_unavailable")->value(),
+            unavailable);
+  EXPECT_EQ(reg.counter("ps.fault.injected_latency")->value(), latency);
+  EXPECT_EQ(reg.counter("ps.fault.dropped_pushes")->value(), dropped);
+  EXPECT_EQ(reg.counter("ps.fault.crashes")->value(), crashes);
+
+  // Every injected unavailability surfaced as exactly one retryable failure
+  // inside the retry layer (crashes abort and are not retryable), and the
+  // layer never saw more failures than attempts.
+  EXPECT_EQ(reg.counter("retry.transient_failures")->value(), unavailable);
+  EXPECT_GE(reg.counter("retry.attempts")->value(), unavailable);
+
+  // Recovery counters mirror the runtime's crash/respawn accounting.
+  const RecoveryStats rs = dist.recovery_stats();
+  EXPECT_EQ(reg.counter("ps.recovery.failed_epochs")->value(),
+            static_cast<uint64_t>(rs.failed_epochs));
+  EXPECT_EQ(reg.counter("ps.recovery.respawns")->value(),
+            static_cast<uint64_t>(rs.respawns));
+  EXPECT_EQ(reg.counter("ps.recovery.respawn_failures")->value(),
+            static_cast<uint64_t>(rs.respawn_failures));
+  EXPECT_EQ(reg.counter("ps.recovery.reassigned_epochs")->value(),
+            static_cast<uint64_t>(rs.reassigned_epochs));
+}
+
 TEST_F(ChaosTrainingTest, AsyncWorkerSelfHealsAfterCrash) {
   DistributedConfig dc = BaseConfig(/*epochs=*/4);
   dc.async_epochs = true;
@@ -264,24 +312,19 @@ TEST_F(ChaosTrainingTest, AsyncWorkerSelfHealsAfterCrash) {
 
 class KillResumeTest : public ChaosTrainingTest {
  protected:
-  void SetUp() override {
-    ChaosTrainingTest::SetUp();
-    dir_ = (fs::temp_directory_path() /
-            ("mamdr_chaos_" + std::to_string(::getpid()) + "_" +
-             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
-               .string();
-    fs::create_directories(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-
-  std::string dir_;
+  mamdr::testing::ScopedTempDir tmp_{"mamdr_chaos"};
+  std::string dir_ = tmp_.str();
 };
 
 TEST_F(KillResumeTest, CheckpointRoundTripRestoresPsState) {
+  obs::Registry::Global().Reset();
   DistributedConfig dc = BaseConfig(/*epochs=*/2);
   dc.checkpoint_dir = dir_;
   DistributedMamdr dist(mc_, &ds_, dc);
   ASSERT_TRUE(dist.Train().ok());
+  // One checkpoint per completed epoch, mirrored in the metrics registry.
+  EXPECT_EQ(obs::Registry::Global().counter("ps.checkpoint.saves")->value(),
+            2u);
   const auto before = dist.server()->SnapshotAll();
 
   // Perturb the PS, then restore from the checkpoint written at epoch 2.
@@ -292,6 +335,8 @@ TEST_F(KillResumeTest, CheckpointRoundTripRestoresPsState) {
   auto resumed = dist.RestoreFromCheckpoint();
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   EXPECT_EQ(resumed.value(), 2);
+  EXPECT_EQ(
+      obs::Registry::Global().counter("ps.checkpoint.restores")->value(), 1u);
   const auto after = dist.server()->SnapshotAll();
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_TRUE(ops::AllClose(before[i], after[i]));

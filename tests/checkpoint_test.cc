@@ -19,16 +19,8 @@ namespace fs = std::filesystem;
 
 class CheckpointTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    path_ = (fs::temp_directory_path() /
-             ("mamdr_ckpt_" + std::to_string(::getpid()) + "_" +
-              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
-                .string();
-    fs::remove(path_);
-  }
-  void TearDown() override { fs::remove(path_); }
-
-  std::string path_;
+  mamdr::testing::ScopedTempDir tmp_{"mamdr_ckpt"};
+  std::string path_ = tmp_.file("ckpt");
 };
 
 TEST_F(CheckpointTest, TensorRoundTrip) {

@@ -14,15 +14,8 @@ namespace fs = std::filesystem;
 
 class IoTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() /
-           ("mamdr_io_test_" + std::to_string(::getpid()) + "_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    fs::remove_all(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-
-  fs::path dir_;
+  mamdr::testing::ScopedTempDir tmp_{"mamdr_io_test"};
+  const fs::path& dir_ = tmp_.path();
 };
 
 TEST_F(IoTest, RoundTripPreservesEverything) {

@@ -2,11 +2,53 @@
 #ifndef MAMDR_TESTS_TEST_UTIL_H_
 #define MAMDR_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
 #include "data/synthetic.h"
 #include "models/ctr_model.h"
 
 namespace mamdr {
 namespace testing {
+
+/// RAII scratch directory under the system temp dir, unique per process and
+/// per gtest test case. Created on construction, recursively removed on
+/// destruction — so a failing test can't leak scratch directories, and two
+/// concurrent ctest shards can't collide.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "mamdr_test") {
+    std::string leaf = prefix + "_" + std::to_string(::getpid());
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      leaf += std::string("_") + info->test_suite_name() + "_" + info->name();
+    }
+    path_ = std::filesystem::temp_directory_path() / leaf;
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort: never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+  /// A file path inside the directory.
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
 
 /// A tiny but learnable multi-domain dataset (fast enough for unit tests).
 inline data::MultiDomainDataset TinyDataset(int num_domains = 3,

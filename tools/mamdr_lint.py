@@ -20,6 +20,12 @@ the offending line):
   iostream-print  ``std::cout`` / ``std::cerr`` outside tools/ and bench/.
                   Library code reports through MAMDR_LOG / Status, never by
                   printing.
+  raw-clock       ``std::chrono::steady_clock::now()`` (or any
+                  ``steady_clock::now()``) outside src/obs and src/common.
+                  All timing flows through obs::MonotonicMicros()/
+                  MonotonicSeconds() so the golden-run determinism contract
+                  has a single clock to reason about and instrumentation is
+                  greppable in one place.
   header-guard    headers must use the canonical include guard
                   ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
                   leading ``src/`` dropped), not ``#pragma once``.
@@ -60,6 +66,7 @@ AT_CALL_RE = re.compile(r"\.at\s*\(")
 DOUBLE_DECL_RE = re.compile(r"\b(?:long\s+)?double\s+[A-Za-z_]\w*")
 RAW_RAND_RE = re.compile(r"\b(?:std::)?s?rand\s*\(")
 IOSTREAM_PRINT_RE = re.compile(r"\bstd::c(?:out|err)\b")
+RAW_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -167,6 +174,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     kernel_float_file = _in_dir(rel_path, "src/tensor")
     library_file = not _in_dir(rel_path, "tools", "bench")
     status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
+    clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
 
     for i, raw_line in enumerate(lines, start=1):
         allowed = _allowed_rules(raw_line)
@@ -196,6 +204,12 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "iostream-print",
                             "library code must not print to std::cout/cerr; "
                             "use MAMDR_LOG or return Status"))
+        if not clock_blessed_file and "raw-clock" not in allowed:
+            if RAW_CLOCK_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "raw-clock",
+                            "read time via obs::MonotonicMicros()/"
+                            "MonotonicSeconds(), not steady_clock::now()"))
         if status_file and "ignored-status" not in allowed:
             stripped = line.rstrip()
             # Statement-position only: the call opens the line, the line is a

@@ -124,6 +124,46 @@ class IostreamPrintRule(unittest.TestCase):
         self.assertEqual(rules(findings), [])
 
 
+class RawClockRule(unittest.TestCase):
+    def test_flags_steady_clock_in_core(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            "  auto t0 = std::chrono::steady_clock::now();\n")
+        self.assertEqual(rules(findings), ["raw-clock"])
+
+    def test_flags_unqualified_use_in_bench(self):
+        findings = mamdr_lint.lint_text(
+            "bench/bench_kernels.cpp",
+            "using std::chrono::steady_clock;\n"
+            "auto t = steady_clock::now();\n")
+        self.assertEqual(rules(findings), ["raw-clock"])
+
+    def test_obs_and_common_exempt(self):
+        for path in ("src/obs/clock.cc", "src/common/retry.cc"):
+            findings = mamdr_lint.lint_text(
+                path, "  auto t = std::chrono::steady_clock::now();\n")
+            self.assertEqual(rules(findings), [], path)
+
+    def test_comment_mention_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            "// wraps steady_clock::now() behind obs::MonotonicMicros\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/fault_injector.cc",
+            "  auto t = steady_clock::now();"
+            "  // mamdr-lint: allow(raw-clock)\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_other_clocks_not_flagged(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            "  auto t = std::chrono::system_clock::now();\n")
+        self.assertEqual(rules(findings), [])
+
+
 class HeaderGuardRule(unittest.TestCase):
     GOOD = ("#ifndef MAMDR_COMMON_FLAGS_H_\n"
             "#define MAMDR_COMMON_FLAGS_H_\n"

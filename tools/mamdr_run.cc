@@ -17,6 +17,7 @@
 #include "data/io.h"
 #include "metrics/gauc.h"
 #include "metrics/logloss.h"
+#include "obs/telemetry.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "models/registry.h"
@@ -49,6 +50,11 @@ void PrintUsage(const char* prog) {
       "(0 = off)\n"
       "  --kernel-threads N kernel pool size (0 = hardware_concurrency, "
       "1 = serial)\n"
+      "  --metrics-out PATH write deterministic metrics/telemetry JSON "
+      "(schema mamdr.metrics.v1) at exit\n"
+      "  --trace-out PATH   write chrome://tracing span JSON at exit\n"
+      "  --probe-conflict   record per-epoch cross-domain gradient conflict "
+      "(needs --metrics-out)\n"
       "  --save-model PATH  write a parameter checkpoint after training\n"
       "  --topk-eval        also report HitRate@10 / NDCG@10 per domain\n"
       "  --stats            print dataset statistics before training\n"
@@ -236,6 +242,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nmodel checkpoint written to %s\n", save_model.c_str());
+  }
+
+  if (std::string obs_error; !obs::WriteConfiguredOutputs(&obs_error)) {
+    std::fprintf(stderr, "observability output: %s\n", obs_error.c_str());
+    return 1;
   }
   return 0;
 }
