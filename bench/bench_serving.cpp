@@ -1,0 +1,176 @@
+// bench_serving: end-to-end throughput/latency of the serving path.
+//
+// Drives Recommender::TopK with a deterministic workload (fixed-seed
+// synthetic dataset, untrained MLP replica, round-robin user/domain
+// requests) at 1/2/4 kernel threads and reports QPS plus exact sample
+// latency quantiles. Results go to stdout and to a machine-readable
+// BENCH_serving.json that tools/mamdr_perfdiff.py diffs against the
+// checked-in baseline in CI.
+//
+// Quantiles in the JSON are nearest-rank over the per-request sample
+// vector, NOT read back from the obs latency histogram: the log2 bucket
+// layout quantizes by up to 2x, which would rival the perfdiff fail gate.
+// The histogram-derived summary is still printed (dogfooding the /metrics
+// pipeline) but never gated on.
+//
+// Flags:
+//   --requests N  requests per thread-count sweep (default 2048; keep it
+//                 high enough that p99 sits tens of samples deep in the
+//                 tail, or one scheduler hiccup on a shared runner can
+//                 trip the 2x perfdiff hard gate)
+//   --k N         top-K size per request (default 10)
+//   --out PATH    JSON output path (default BENCH_serving.json)
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/parallel_for.h"
+#include "data/synthetic.h"
+#include "models/registry.h"
+#include "obs/clock.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "serve/recommender.h"
+
+using namespace mamdr;
+
+namespace {
+
+struct Entry {
+  int64_t threads;
+  int64_t domains;
+  int64_t requests;
+  double qps;
+  double mean_us;
+  double p50_us;
+  double p95_us;
+  double p99_us;
+};
+
+/// Exact nearest-rank quantile over a sorted sample vector.
+double SampleQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+void WriteJson(const std::string& path, int64_t requests,
+               const std::vector<Entry>& entries) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"requests_per_sweep\": %" PRId64 ",\n", requests);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"threads\": %" PRId64 ", \"domains\": %" PRId64
+                 ", \"requests\": %" PRId64
+                 ", \"qps\": %.2f, \"mean_us\": %.2f, \"p50_us\": %.2f, "
+                 "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 e.threads, e.domains, e.requests, e.qps, e.mean_us,
+                 e.p50_us, e.p95_us, e.p99_us,
+                 i + 1 == entries.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  FlagParser flags = std::move(parsed).value();
+  if (Status s = ApplyGlobalFlags(flags); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  const int64_t requests = flags.GetInt("requests", 2048);
+  const int64_t topk = flags.GetInt("k", 10);
+  const std::string out = flags.GetString("out", "BENCH_serving.json");
+
+  // Fixed-seed workload: same dataset, same (untrained) replica weights,
+  // same request sequence on every run and every machine.
+  auto ds = data::Generate(data::TaobaoLike(10, 0.5, 23)).value();
+  models::ModelConfig mc;
+  mc.num_users = ds.num_users();
+  mc.num_items = ds.num_items();
+  mc.num_domains = ds.num_domains();
+  mc.embedding_dim = 16;
+  mc.hidden = {64, 32};
+  Rng rng(mc.seed);
+  auto model = models::CreateModel("MLP", mc, &rng).value();
+  serve::Recommender rec(model.get());
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    std::set<int64_t> items;
+    for (const auto& it : ds.domain(d).train) items.insert(it.item);
+    rec.SetCandidates(d, {items.begin(), items.end()});
+  }
+
+  std::printf("=== serving bench (%" PRId64 " requests/sweep, top-%" PRId64
+              ", %" PRId64 " domains) ===\n\n",
+              requests, topk, ds.num_domains());
+
+  std::vector<Entry> entries;
+  for (const int64_t threads : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+    SetKernelThreads(threads);
+    // Warmup: touch every domain once so pool growth and metric
+    // registration happen off the timed path.
+    for (int64_t d = 0; d < ds.num_domains(); ++d) rec.TopK(0, d, topk);
+
+    std::vector<double> lat_us;
+    lat_us.reserve(static_cast<size_t>(requests));
+    const double t0 = obs::MonotonicSeconds();
+    for (int64_t i = 0; i < requests; ++i) {
+      const int64_t d = i % ds.num_domains();
+      const int64_t user = (i * 7919) % ds.num_users();
+      const int64_t r0 = obs::MonotonicMicros();
+      rec.TopK(user, d, topk);
+      lat_us.push_back(static_cast<double>(obs::MonotonicMicros() - r0));
+    }
+    const double secs = obs::MonotonicSeconds() - t0;
+
+    std::sort(lat_us.begin(), lat_us.end());
+    double sum = 0.0;
+    for (double v : lat_us) sum += v;
+    Entry e;
+    e.threads = threads;
+    e.domains = ds.num_domains();
+    e.requests = requests;
+    e.qps = static_cast<double>(requests) / secs;
+    e.mean_us = sum / static_cast<double>(requests);
+    e.p50_us = SampleQuantile(lat_us, 0.50);
+    e.p95_us = SampleQuantile(lat_us, 0.95);
+    e.p99_us = SampleQuantile(lat_us, 0.99);
+    entries.push_back(e);
+    std::printf("  threads=%-2" PRId64 " %8.1f qps  mean %8.1f us  "
+                "p50 %8.1f  p95 %8.1f  p99 %8.1f\n",
+                e.threads, e.qps, e.mean_us, e.p50_us, e.p95_us, e.p99_us);
+  }
+
+  // Dogfood the /metrics pipeline: the same latencies as seen through the
+  // log-bucketed histogram (quantized — reporting only, never gated).
+  obs::Histogram* h = obs::LatencyHistogram(&obs::Registry::Global(),
+                                            "serve.topk.latency_micros");
+  const obs::LatencySummary s = obs::Summarize(h->snapshot());
+  std::printf("\n  histogram view: count %" PRIu64
+              "  p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+              s.count, s.p50, s.p95, s.p99);
+
+  WriteJson(out, requests, entries);
+  return 0;
+}

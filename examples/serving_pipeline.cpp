@@ -6,20 +6,49 @@
 // and answers top-K requests; offline HitRate@K/NDCG@K validate the loaded
 // artifacts.
 //
-//   ./build/examples/serving_pipeline
+//   ./build/examples/serving_pipeline [--metrics-port N]
+//
+// With --metrics-port N the replica also exposes live Prometheus metrics on
+// 127.0.0.1:N/metrics (per-domain request counters, serving latency
+// histograms) for the lifetime of the process — 0 (the default) serves
+// nothing.
 #include <cstdio>
 #include <filesystem>
 #include <set>
 
 #include "checkpoint/checkpoint.h"
+#include "common/flags.h"
 #include "core/mamdr.h"
 #include "data/synthetic.h"
 #include "models/registry.h"
+#include "serve/metrics_server.h"
 #include "serve/recommender.h"
 
 using namespace mamdr;
 
-int main() {
+int main(int argc, char** argv) {
+  auto parsed = FlagParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  FlagParser flags = std::move(parsed).value();
+  auto metrics_port = flags.GetIntChecked("metrics-port", 0);
+  if (!metrics_port.ok()) {
+    std::fprintf(stderr, "%s\n", metrics_port.status().ToString().c_str());
+    return 2;
+  }
+  serve::MetricsServer metrics_server;
+  if (metrics_port.value() > 0) {
+    Status s = metrics_server.Start(static_cast<int>(metrics_port.value()));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics-port: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics endpoint: http://127.0.0.1:%d/metrics\n",
+                metrics_server.port());
+  }
+
   const std::string model_ckpt = "/tmp/mamdr_serving_model.ckpt";
   const std::string store_ckpt = "/tmp/mamdr_serving_store.ckpt";
 
@@ -99,5 +128,6 @@ int main() {
 
   std::filesystem::remove(model_ckpt);
   std::filesystem::remove(store_ckpt);
+  metrics_server.Stop();
   return 0;
 }

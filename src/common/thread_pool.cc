@@ -18,6 +18,16 @@ obs::Counter* tasks_failed() {
       "thread_pool.tasks_failed", obs::Stability::kRuntime);
   return c;
 }
+obs::Gauge* queue_depth() {
+  static obs::Gauge* g = obs::Registry::Global().gauge(
+      "thread_pool.queue_depth", obs::Stability::kRuntime);
+  return g;
+}
+obs::Gauge* inflight() {
+  static obs::Gauge* g = obs::Registry::Global().gauge(
+      "thread_pool.inflight", obs::Stability::kRuntime);
+  return g;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -42,6 +52,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
+    queue_depth()->Set(static_cast<double>(queue_.size()));
   }
   cv_task_.NotifyOne();
 }
@@ -67,6 +78,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      queue_depth()->Set(static_cast<double>(queue_.size()));
+      inflight()->Set(static_cast<double>(in_flight_));
     }
     // Scope guard: the decrement must run even when the task throws,
     // otherwise in_flight_ never reaches zero and Wait() blocks forever.
@@ -76,6 +89,7 @@ void ThreadPool::WorkerLoop() {
         {
           MutexLock lock(&pool->mu_);
           --pool->in_flight_;
+          inflight()->Set(static_cast<double>(pool->in_flight_));
         }
         pool->cv_done_.NotifyAll();
       }

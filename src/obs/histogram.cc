@@ -1,0 +1,66 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mamdr {
+namespace obs {
+
+namespace {
+constexpr int kLatencyBuckets = 26;  // 1us * 2^i, last finite edge ~33.6s
+}  // namespace
+
+const std::vector<double>& LatencyBucketBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>(
+      Histogram::ExponentialBounds(1.0, 2.0, kLatencyBuckets));
+  return *bounds;
+}
+
+Histogram* LatencyHistogram(Registry* registry, const std::string& name) {
+  if (registry == nullptr) internal::Fail("LatencyHistogram: null registry");
+  return registry->histogram(name, LatencyBucketBounds(),
+                             Stability::kRuntime);
+}
+
+double SnapshotQuantile(const Histogram::Snapshot& s, double q) {
+  if (s.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank (1-based): the smallest rank whose cumulative count
+  // reaches ceil(q * count).
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(s.count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < s.counts.size(); ++i) {
+    const uint64_t in_bucket = s.counts[i];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= s.bounds.size()) {
+      // Overflow bucket: unbounded above, so report the largest edge the
+      // layout can still vouch for.
+      return s.bounds.empty() ? 0.0 : s.bounds.back();
+    }
+    const double lower = (i == 0) ? 0.0 : s.bounds[i - 1];
+    const double upper = s.bounds[i];
+    const double into =
+        static_cast<double>(target - cumulative) /
+        static_cast<double>(in_bucket);  // in_bucket > 0 here
+    return lower + (upper - lower) * into;
+  }
+  return s.bounds.empty() ? 0.0 : s.bounds.back();
+}
+
+LatencySummary Summarize(const Histogram::Snapshot& s) {
+  LatencySummary out;
+  out.count = s.count;
+  out.sum = s.sum;
+  out.p50 = SnapshotQuantile(s, 0.50);
+  out.p95 = SnapshotQuantile(s, 0.95);
+  out.p99 = SnapshotQuantile(s, 0.99);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mamdr

@@ -1,0 +1,77 @@
+// Latency histograms: the canonical log-bucketed layout for duration
+// metrics, quantile estimation from bucket counts, and a scoped recording
+// timer.
+//
+// Every latency histogram in the tree shares one bucket scheme
+// (LatencyBucketBounds: upper edges 1us * 2^i, i in [0, 26), so the last
+// finite edge is ~33.6s) so snapshots from different processes, runs, and
+// metrics are directly comparable and the Prometheus exposition renders a
+// fixed `le` label set. Latency values depend on wall time, so these
+// histograms are always registered Stability::kRuntime — they appear in the
+// full export and the /metrics endpoint but never in the deterministic
+// (golden-testable) JSON, consistent with the obs::Metrics stability
+// contract.
+#ifndef MAMDR_OBS_HISTOGRAM_H_
+#define MAMDR_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace mamdr {
+namespace obs {
+
+/// Upper bucket edges (microseconds) shared by every latency histogram:
+/// 1, 2, 4, ..., 2^25 us. One process-lifetime vector; never mutated.
+const std::vector<double>& LatencyBucketBounds();
+
+/// Find-or-create `name` in `registry` with the canonical latency layout
+/// and Stability::kRuntime. The returned pointer is registry-lifetime —
+/// cache it on hot paths.
+Histogram* LatencyHistogram(Registry* registry, const std::string& name);
+
+/// Quantile estimate from bucket counts: locates the bucket holding the
+/// nearest-rank observation and interpolates linearly inside it (the first
+/// bucket interpolates from 0, the overflow bucket reports its lower edge —
+/// the largest value the layout can still bound). q is clamped to [0, 1].
+/// An empty snapshot yields 0.
+double SnapshotQuantile(const Histogram::Snapshot& s, double q);
+
+/// The standard latency digest exported by benches and the /metrics text.
+struct LatencySummary {
+  uint64_t count = 0;
+  double sum = 0.0;  // same unit as the observations (microseconds)
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+LatencySummary Summarize(const Histogram::Snapshot& s);
+
+/// Records the wall-clock lifetime of a scope into a latency histogram, in
+/// microseconds. A null histogram disables the timer entirely (no clock
+/// read), so call sites can be instrumented unconditionally.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* h)
+      : histogram_(h), start_us_(h != nullptr ? MonotonicMicros() : 0) {}
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<double>(MonotonicMicros() - start_us_));
+    }
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace mamdr
+
+#endif  // MAMDR_OBS_HISTOGRAM_H_

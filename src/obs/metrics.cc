@@ -125,6 +125,33 @@ Histogram* Registry::histogram(const std::string& name,
   return it->second.get();
 }
 
+RegistrySnapshot Registry::Snapshot(bool include_runtime) const {
+  MutexLock lock(&mu_);
+  RegistrySnapshot out;
+  for (const auto& kv : counters_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    out.counters.push_back(
+        {kv.first, kv.second->value(), kv.second->stability()});
+  }
+  for (const auto& kv : gauges_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    out.gauges.push_back(
+        {kv.first, kv.second->value(), kv.second->stability()});
+  }
+  for (const auto& kv : histograms_) {
+    if (!include_runtime && kv.second->stability() == Stability::kRuntime) {
+      continue;
+    }
+    out.histograms.push_back(
+        {kv.first, kv.second->snapshot(), kv.second->stability()});
+  }
+  return out;
+}
+
 void Registry::Reset() {
   MutexLock lock(&mu_);
   for (auto& kv : counters_) kv.second->Reset();

@@ -107,6 +107,31 @@ class Histogram {
   const Stability stability_;
 };
 
+/// Structured point-in-time view of a registry: every metric's name, value,
+/// and stability tag, name-sorted within each kind. This is what renderers
+/// outside obs (the Prometheus exposition endpoint, bench digests) consume —
+/// they never need friend access to the metric internals.
+struct RegistrySnapshot {
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+    Stability stability = Stability::kStable;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+    Stability stability = Stability::kStable;
+  };
+  struct HistogramRow {
+    std::string name;
+    Histogram::Snapshot snapshot;
+    Stability stability = Stability::kRuntime;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
 class Registry {
  public:
   Registry() = default;
@@ -132,6 +157,12 @@ class Registry {
   /// Zero every registered metric (tests and in-process golden reruns).
   /// Registered names and layouts survive — pointers stay valid.
   void Reset() MAMDR_EXCLUDES(mu_);
+
+  /// Point-in-time structured view of every registered metric (values read
+  /// relaxed, names sorted). include_runtime=false omits Stability::kRuntime
+  /// metrics, mirroring ToJson.
+  RegistrySnapshot Snapshot(bool include_runtime = true) const
+      MAMDR_EXCLUDES(mu_);
 
   /// Deterministic JSON object {"counters":{...},"gauges":{...},
   /// "histograms":{...}}: names sorted, doubles printed with %.17g.

@@ -2,24 +2,56 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace mamdr {
 namespace ps {
+
+namespace {
+// Aggregated over every cache instance in the process. Hit/miss totals are a
+// pure function of the training workload (each worker owns its cache and its
+// batch sequence), so they stay in the deterministic export (kStable).
+obs::Counter* cache_hits() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("ps.embedding_cache.hits");
+  return c;
+}
+obs::Counter* cache_misses() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("ps.embedding_cache.misses");
+  return c;
+}
+obs::Counter* cache_clears() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("ps.embedding_cache.clears");
+  return c;
+}
+obs::Counter* stale_rows_evicted() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("ps.embedding_cache.stale_rows_evicted");
+  return c;
+}
+}  // namespace
 
 std::vector<int64_t> EmbeddingCache::TouchAndGetMisses(
     const std::vector<int64_t>& rows) {
   MutexLock lock(&mu_);
   std::vector<int64_t> misses;
+  uint64_t hits = 0;
   for (int64_t r : rows) {
     if (cached_.insert(r).second) {
       misses.push_back(r);
       ++stats_.misses;
     } else {
       ++stats_.hits;
+      ++hits;
     }
   }
   // Deduplicate (rows may repeat within a batch).
   std::sort(misses.begin(), misses.end());
   misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
+  if (hits > 0) cache_hits()->Add(hits);
+  if (!misses.empty()) cache_misses()->Add(misses.size());
   return misses;
 }
 
@@ -32,6 +64,10 @@ std::vector<int64_t> EmbeddingCache::CachedRows() const {
 
 void EmbeddingCache::Clear() {
   MutexLock lock(&mu_);
+  // Rows dropped here were still valid locally but are now stale relative to
+  // the PS and must be re-pulled — the staleness signal of the cache design.
+  if (!cached_.empty()) stale_rows_evicted()->Add(cached_.size());
+  cache_clears()->Add();
   cached_.clear();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -10,12 +11,38 @@ namespace mamdr {
 namespace serve {
 
 Recommender::Recommender(models::CtrModel* model, metrics::ScoreFn scorer)
-    : model_(model), scorer_(std::move(scorer)) {
+    : model_(model),
+      scorer_(std::move(scorer)),
+      topk_latency_(obs::LatencyHistogram(&obs::Registry::Global(),
+                                          "serve.topk.latency_micros")),
+      rank_latency_(obs::LatencyHistogram(&obs::Registry::Global(),
+                                          "serve.rank.latency_micros")) {
   MAMDR_CHECK(model != nullptr);
+}
+
+Recommender::DomainMetrics Recommender::domain_metrics(
+    int64_t domain) const {
+  MutexLock lock(&obs_mu_);
+  auto it = domain_metrics_.find(domain);
+  if (it == domain_metrics_.end()) {
+    // First request for this domain: resolve the registry pointers once.
+    // Request counts and pool sizes are pure functions of the served
+    // workload, so they stay in the deterministic export (kStable).
+    const std::string label = "{domain=\"" + std::to_string(domain) + "\"}";
+    obs::Registry& reg = obs::Registry::Global();
+    DomainMetrics m;
+    m.topk_requests = reg.counter("serve.topk.requests" + label);
+    m.rank_requests = reg.counter("serve.rank.requests" + label);
+    m.pool_size = reg.gauge("serve.candidates" + label);
+    it = domain_metrics_.emplace(domain, m).first;
+  }
+  return it->second;
 }
 
 void Recommender::SetCandidates(int64_t domain, std::vector<int64_t> items) {
   candidates_[domain] = std::move(items);
+  domain_metrics(domain).pool_size->Set(
+      static_cast<double>(candidates_[domain].size()));
 }
 
 const std::vector<int64_t>& Recommender::candidates(int64_t domain) const {
@@ -23,7 +50,7 @@ const std::vector<int64_t>& Recommender::candidates(int64_t domain) const {
   return it == candidates_.end() ? empty_ : it->second;
 }
 
-std::vector<RankedItem> Recommender::Rank(
+std::vector<RankedItem> Recommender::RankImpl(
     int64_t user, int64_t domain, const std::vector<int64_t>& items) const {
   data::Batch batch;
   batch.users.assign(items.size(), user);
@@ -36,6 +63,9 @@ std::vector<RankedItem> Recommender::Rank(
   for (size_t i = 0; i < items.size(); ++i) {
     ranked[i] = {items[i], scores[i]};
   }
+  // Total order: descending score, ties broken by ascending item id, so
+  // golden/bench runs are bit-stable across platforms and sort
+  // implementations.
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedItem& a, const RankedItem& b) {
               return a.score > b.score ||
@@ -44,10 +74,21 @@ std::vector<RankedItem> Recommender::Rank(
   return ranked;
 }
 
+std::vector<RankedItem> Recommender::Rank(
+    int64_t user, int64_t domain, const std::vector<int64_t>& items) const {
+  domain_metrics(domain).rank_requests->Add();
+  obs::ScopedLatencyTimer timer(rank_latency_);
+  return RankImpl(user, domain, items);
+}
+
 std::vector<RankedItem> Recommender::TopK(int64_t user, int64_t domain,
                                           int64_t k) const {
+  const DomainMetrics m = domain_metrics(domain);
+  m.topk_requests->Add();
   const auto& pool = candidates(domain);
-  std::vector<RankedItem> ranked = Rank(user, domain, pool);
+  m.pool_size->Set(static_cast<double>(pool.size()));
+  obs::ScopedLatencyTimer timer(topk_latency_);
+  std::vector<RankedItem> ranked = RankImpl(user, domain, pool);
   if (static_cast<int64_t>(ranked.size()) > k) {
     ranked.resize(static_cast<size_t>(k));
   }
@@ -58,7 +99,22 @@ TopKReport EvaluateTopK(const Recommender& rec,
                         const data::MultiDomainDataset& ds, int64_t domain,
                         int64_t k, int64_t num_negatives, Rng* rng) {
   MAMDR_CHECK(rng != nullptr);
+  TopKReport report;
   const auto& d = ds.domain(domain);
+  // Edge cases first: with no candidate id space there is nothing to rank
+  // against, and with no test positives the protocol has no cases. Both
+  // yield the zeroed report rather than NaN rates or a UB negative-sample
+  // draw from an empty range.
+  if (ds.num_items() <= 0) return report;
+  bool has_positive = false;
+  for (const auto& it : d.test) {
+    if (it.label > 0.5f) {
+      has_positive = true;
+      break;
+    }
+  }
+  if (!has_positive) return report;
+
   // Per-user interacted items (any split) must not be sampled as negatives.
   std::unordered_set<uint64_t> interacted;
   auto key = [](int64_t u, int64_t v) {
@@ -70,7 +126,6 @@ TopKReport EvaluateTopK(const Recommender& rec,
     }
   }
 
-  TopKReport report;
   double hits = 0.0, ndcg = 0.0;
   for (const auto& it : d.test) {
     if (it.label < 0.5f) continue;

@@ -7,8 +7,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "metrics/evaluator.h"
 #include "models/ctr_model.h"
+#include "obs/histogram.h"
 
 namespace mamdr {
 namespace serve {
@@ -23,6 +26,15 @@ struct RankedItem {
 /// By default scores come from the model directly; pass the owning
 /// framework's Scorer() (e.g. Mamdr::Scorer()) to serve with Θ = θS + θi
 /// per domain.
+///
+/// Every request is instrumented into the global obs registry: per-domain
+/// request counters and candidate-pool-size gauges
+/// (`serve.topk.requests{domain="D"}`, `serve.candidates{domain="D"}`) plus
+/// per-API end-to-end latency histograms (`serve.topk.latency_micros`,
+/// `serve.rank.latency_micros`, canonical obs::LatencyBucketBounds layout).
+/// The per-request cost is one uncontended mutex acquisition (the
+/// per-domain metric-pointer cache) and relaxed atomic increments; there is
+/// no registry lookup or string construction on the steady-state path.
 class Recommender {
  public:
   explicit Recommender(models::CtrModel* model,
@@ -36,25 +48,50 @@ class Recommender {
   const std::vector<int64_t>& candidates(int64_t domain) const;
 
   /// Score all candidates of the domain for the user and return the top k,
-  /// highest score first. k is clamped to the candidate count.
+  /// highest score first; equal scores order by ascending item id so the
+  /// result is bit-stable across platforms. k is clamped to the candidate
+  /// count.
   std::vector<RankedItem> TopK(int64_t user, int64_t domain,
                                int64_t k) const;
 
-  /// Score an explicit candidate list (used by offline evaluation).
+  /// Score an explicit candidate list (used by offline evaluation). Same
+  /// deterministic ordering contract as TopK.
   std::vector<RankedItem> Rank(int64_t user, int64_t domain,
                                const std::vector<int64_t>& items) const;
 
  private:
+  /// Per-domain metric pointers, resolved once per domain and cached.
+  struct DomainMetrics {
+    obs::Counter* topk_requests = nullptr;
+    obs::Counter* rank_requests = nullptr;
+    obs::Gauge* pool_size = nullptr;
+  };
+  DomainMetrics domain_metrics(int64_t domain) const
+      MAMDR_EXCLUDES(obs_mu_);
+
+  /// The uninstrumented scoring + sort core shared by TopK and Rank (so
+  /// each public API observes its own end-to-end latency exactly once).
+  std::vector<RankedItem> RankImpl(int64_t user, int64_t domain,
+                                   const std::vector<int64_t>& items) const;
+
   models::CtrModel* model_;
   metrics::ScoreFn scorer_;
   std::unordered_map<int64_t, std::vector<int64_t>> candidates_;
   std::vector<int64_t> empty_;
+
+  obs::Histogram* topk_latency_;  // registry-lifetime, cached at ctor
+  obs::Histogram* rank_latency_;
+  mutable Mutex obs_mu_;
+  mutable std::unordered_map<int64_t, DomainMetrics> domain_metrics_
+      MAMDR_GUARDED_BY(obs_mu_);
 };
 
 /// Offline top-K quality on a domain's test positives, with the standard
 /// sampled-negatives protocol: each positive (u, v) is ranked against
 /// `num_negatives` random un-interacted items; HitRate@K counts v in the
-/// top K, NDCG@K discounts by rank position.
+/// top K, NDCG@K discounts by rank position. A domain with no test
+/// positives (or a dataset with no items to sample candidates from) yields
+/// a zeroed report — never NaN.
 struct TopKReport {
   double hit_rate = 0.0;
   double ndcg = 0.0;

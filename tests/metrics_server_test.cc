@@ -1,0 +1,230 @@
+// Serving-path observability tests (ISSUE 5).
+//
+// Locks the Prometheus text exposition against a checked-in golden file
+// (regenerate intentional format changes with
+//   MAMDR_REGEN_GOLDEN=1 ctest -R PrometheusGolden
+// ) and round-trips the /metrics HTTP server over a real loopback socket on
+// an ephemeral port. Everything runs against a private Registry so the
+// global one (shared with other suites in this binary) stays untouched.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "serve/metrics_server.h"
+
+namespace mamdr {
+namespace serve {
+namespace {
+
+/// Minimal blocking HTTP client: send one request line to 127.0.0.1:port
+/// and return the whole response (headers + body).
+std::string HttpRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed: " << std::strerror(errno);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpRequest(port,
+                     "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+/// A registry with one of everything the renderer handles: labeled and
+/// unlabeled counters, a gauge, and a small deterministic histogram.
+void PopulateDeterministic(obs::Registry* reg) {
+  reg->counter("serve.topk.requests{domain=\"0\"}")->Add(7);
+  reg->counter("serve.topk.requests{domain=\"1\"}")->Add(3);
+  reg->counter("ps.embedding_cache.hits")->Add(41);
+  reg->gauge("serve.candidates{domain=\"0\"}")->Set(128.0);
+  obs::Histogram* h =
+      reg->histogram("rpc.latency_micros", {1.0, 2.0, 4.0, 8.0},
+                     obs::Stability::kRuntime);
+  for (double v : {0.5, 1.5, 3.0, 3.5, 100.0}) h->Observe(v);
+}
+
+TEST(PrometheusTextTest, FamiliesGroupedWithSingleTypeHeader) {
+  obs::Registry reg;
+  PopulateDeterministic(&reg);
+  const std::string text = PrometheusText(reg);
+
+  // Both labeled rows render under one family with exactly one TYPE line.
+  EXPECT_NE(text.find("# TYPE mamdr_serve_topk_requests counter"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mamdr_serve_topk_requests counter"),
+            text.rfind("# TYPE mamdr_serve_topk_requests counter"));
+  EXPECT_NE(text.find("mamdr_serve_topk_requests{domain=\"0\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_serve_topk_requests{domain=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_serve_candidates{domain=\"0\"} 128"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeWithInf) {
+  obs::Registry reg;
+  PopulateDeterministic(&reg);
+  const std::string text = PrometheusText(reg);
+
+  EXPECT_NE(text.find("# TYPE mamdr_rpc_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_bucket{le=\"4\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_bucket{le=\"8\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_count 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mamdr_rpc_latency_micros_sum 108.5"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, RuntimeMetricsIncludedBySnapshotDefault) {
+  // The live endpoint exists for the runtime metrics; the deterministic
+  // export excludes them. Both views come from the same Snapshot() switch.
+  obs::Registry reg;
+  reg.counter("stable.count")->Add(1);
+  reg.counter("runtime.count", obs::Stability::kRuntime)->Add(1);
+  const std::string live = PrometheusText(reg);
+  EXPECT_NE(live.find("mamdr_runtime_count"), std::string::npos);
+  const std::string det =
+      PrometheusText(reg.Snapshot(/*include_runtime=*/false));
+  EXPECT_EQ(det.find("mamdr_runtime_count"), std::string::npos);
+  EXPECT_NE(det.find("mamdr_stable_count"), std::string::npos);
+}
+
+TEST(PrometheusGoldenTest, ExpositionMatchesCheckedInGolden) {
+  obs::Registry reg;
+  PopulateDeterministic(&reg);
+  const std::string text = PrometheusText(reg);
+
+  const std::filesystem::path golden_path =
+      std::filesystem::path(MAMDR_SOURCE_DIR) / "tests" / "golden" /
+      "prometheus_exposition.txt";
+  if (std::getenv("MAMDR_REGEN_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << golden_path;
+    out << text;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path
+      << " — regenerate with MAMDR_REGEN_GOLDEN=1 ctest -R PrometheusGolden";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(text, buf.str())
+      << "Prometheus exposition drifted; if intentional, regenerate the "
+         "golden file with MAMDR_REGEN_GOLDEN=1";
+}
+
+TEST(MetricsServerTest, ServesMetricsAndHealthOverHttp) {
+  obs::Registry reg;
+  PopulateDeterministic(&reg);
+  obs::Histogram* lat = obs::LatencyHistogram(&reg, "serve.topk.latency_micros");
+  lat->Observe(120.0);
+
+  MetricsServer server(&reg);
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("mamdr_serve_topk_requests{domain=\"0\"} 7"),
+            std::string::npos);
+  // The serving latency histogram is exposed with a non-zero count.
+  EXPECT_NE(metrics.find("mamdr_serve_topk_latency_micros_count 1"),
+            std::string::npos);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(HttpRequest(server.port(),
+                        "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  // The endpoint's own traffic is counted (4 requests above).
+  EXPECT_NE(metrics.find("mamdr_serve_metrics_server_requests"),
+            std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(MetricsServerTest, StartTwiceFailsAndRestartWorks) {
+  obs::Registry reg;
+  MetricsServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_FALSE(server.Start(0).ok());  // already running
+  const int first_port = server.port();
+  EXPECT_GT(first_port, 0);
+  server.Stop();
+  EXPECT_EQ(server.port(), 0);
+  // A stopped server can be started again.
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(MetricsServerTest, RejectsBadPort) {
+  obs::Registry reg;
+  MetricsServer server(&reg);
+  EXPECT_FALSE(server.Start(-1).ok());
+  EXPECT_FALSE(server.Start(70000).ok());
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mamdr

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/clock.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -16,6 +17,85 @@
 namespace mamdr {
 namespace obs {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Latency histograms (obs/histogram.h)
+
+TEST(LatencyBucketsTest, CanonicalLayoutIsPowersOfTwoMicros) {
+  const std::vector<double>& b = LatencyBucketBounds();
+  ASSERT_EQ(b.size(), 26u);
+  EXPECT_EQ(b.front(), 1.0);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_EQ(b[i], 2.0 * b[i - 1]);
+  // Same vector instance on every call (cached, never rebuilt).
+  EXPECT_EQ(&LatencyBucketBounds(), &b);
+}
+
+TEST(LatencyHistogramTest, RegistersRuntimeWithCanonicalLayout) {
+  Registry reg;
+  Histogram* h = LatencyHistogram(&reg, "lat");
+  EXPECT_EQ(h->stability(), Stability::kRuntime);
+  EXPECT_EQ(LatencyHistogram(&reg, "lat"), h);  // find-or-create
+  h->Observe(3.0);
+  const Histogram::Snapshot s = h->snapshot();
+  EXPECT_EQ(s.bounds, LatencyBucketBounds());
+  EXPECT_EQ(s.count, 1u);
+}
+
+TEST(SnapshotQuantileTest, NearestRankWithInterpolation) {
+  Registry reg;
+  Histogram* h = reg.histogram("q", {1.0, 2.0, 4.0, 8.0});
+  // Empty snapshot: every quantile is 0.
+  EXPECT_EQ(SnapshotQuantile(h->snapshot(), 0.5), 0.0);
+
+  // 4 observations, one per finite bucket.
+  for (double v : {0.5, 1.5, 3.0, 7.0}) h->Observe(v);
+  const Histogram::Snapshot s = h->snapshot();
+  // p25 rank 1 -> first bucket, interpolated from 0 to its upper edge.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(s, 0.25), 1.0);
+  // p50 rank 2 -> (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(s, 0.5), 2.0);
+  // p100 rank 4 -> (4, 8] bucket.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(s, 1.0), 8.0);
+  // q clamps to [0, 1]; q=0 still selects rank 1.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(s, -1.0), SnapshotQuantile(s, 0.0));
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(s, 2.0), SnapshotQuantile(s, 1.0));
+}
+
+TEST(SnapshotQuantileTest, OverflowBucketReportsLastFiniteEdge) {
+  Registry reg;
+  Histogram* h = reg.histogram("overflow", {1.0, 2.0});
+  h->Observe(1000.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h->snapshot(), 0.99), 2.0);
+}
+
+TEST(SummarizeTest, DigestMatchesSnapshot) {
+  Registry reg;
+  Histogram* h = LatencyHistogram(&reg, "digest");
+  for (int i = 0; i < 100; ++i) h->Observe(10.0);
+  const LatencySummary s = Summarize(h->snapshot());
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 1000.0);
+  // All mass in the (8, 16] bucket: every quantile lands inside it.
+  EXPECT_GT(s.p50, 8.0);
+  EXPECT_LE(s.p50, 16.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(ScopedLatencyTimerTest, RecordsScopeDurationInMicros) {
+  Registry reg;
+  Histogram* h = LatencyHistogram(&reg, "scope");
+  {
+    ScopedLatencyTimer timer(h);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink += static_cast<double>(i);
+  }
+  const Histogram::Snapshot s = h->snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.sum, 0.0);
+  // Null histogram: the timer is a no-op (and must not crash).
+  { ScopedLatencyTimer noop(nullptr); }
+}
 
 // ---------------------------------------------------------------------------
 // Counter / Gauge / Histogram

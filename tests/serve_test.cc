@@ -77,6 +77,83 @@ TEST_F(ServeTest, ScorerOverrideChangesRanking) {
   EXPECT_EQ(a.front().item, b.back().item);
 }
 
+TEST_F(ServeTest, TiedScoresBreakByAscendingItemId) {
+  // With a constant scorer every candidate ties; the deterministic
+  // tie-break contract says the result is then exactly ascending item id,
+  // regardless of candidate registration order.
+  metrics::ScoreFn constant = [](const data::Batch& b, int64_t) {
+    return std::vector<float>(b.items.size(), 0.5f);
+  };
+  Recommender rec(model_.get(), constant);
+  rec.SetCandidates(0, {42, 7, 19, 3, 55, 28});
+  const auto top = rec.TopK(/*user=*/1, /*domain=*/0, /*k=*/4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].item, 3);
+  EXPECT_EQ(top[1].item, 7);
+  EXPECT_EQ(top[2].item, 19);
+  EXPECT_EQ(top[3].item, 28);
+
+  // Partial ties: items sharing a score stay grouped by score first, then
+  // ascend by id within the tie.
+  metrics::ScoreFn two_level = [](const data::Batch& b, int64_t) {
+    std::vector<float> s(b.items.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      s[i] = b.items[i] % 2 == 0 ? 0.9f : 0.1f;
+    }
+    return s;
+  };
+  Recommender rec2(model_.get(), two_level);
+  const auto ranked = rec2.Rank(1, 0, {5, 4, 2, 9, 8});
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].item, 2);
+  EXPECT_EQ(ranked[1].item, 4);
+  EXPECT_EQ(ranked[2].item, 8);
+  EXPECT_EQ(ranked[3].item, 5);
+  EXPECT_EQ(ranked[4].item, 9);
+}
+
+TEST_F(ServeTest, EvaluateTopKZeroedWhenNoTestPositives) {
+  // A domain whose test split holds only negatives (and one with an empty
+  // test split outright) must yield the zeroed report — zero cases, zero
+  // rates, never NaN.
+  data::MultiDomainDataset ds("edge", /*num_users=*/10, /*num_items=*/20);
+  data::DomainData only_negatives;
+  only_negatives.name = "only_negatives";
+  only_negatives.train = {{0, 1, 1.0f}, {1, 2, 0.0f}};
+  only_negatives.test = {{0, 3, 0.0f}, {1, 4, 0.0f}};
+  ASSERT_TRUE(ds.AddDomain(only_negatives).ok());
+  data::DomainData empty_test;
+  empty_test.name = "empty_test";
+  empty_test.train = {{0, 1, 1.0f}};
+  ASSERT_TRUE(ds.AddDomain(empty_test).ok());
+
+  Recommender rec(model_.get());
+  Rng rng(5);
+  for (int64_t d = 0; d < ds.num_domains(); ++d) {
+    const auto report = EvaluateTopK(rec, ds, d, 10, 20, &rng);
+    EXPECT_EQ(report.num_cases, 0) << ds.domain(d).name;
+    EXPECT_EQ(report.hit_rate, 0.0) << ds.domain(d).name;
+    EXPECT_EQ(report.ndcg, 0.0) << ds.domain(d).name;
+  }
+}
+
+TEST_F(ServeTest, EvaluateTopKZeroedWhenNoItems) {
+  // No candidate id space at all: the negative-sampling protocol cannot
+  // draw, so the report is zeroed before any model call happens.
+  data::MultiDomainDataset ds("no_items", /*num_users=*/5, /*num_items=*/0);
+  data::DomainData d;
+  d.name = "d0";
+  d.test = {{0, 0, 1.0f}};  // a positive, but nothing to rank it against
+  ASSERT_TRUE(ds.AddDomain(d).ok());
+
+  Recommender rec(model_.get());
+  Rng rng(5);
+  const auto report = EvaluateTopK(rec, ds, 0, 10, 20, &rng);
+  EXPECT_EQ(report.num_cases, 0);
+  EXPECT_EQ(report.hit_rate, 0.0);
+  EXPECT_EQ(report.ndcg, 0.0);
+}
+
 TEST_F(ServeTest, EvaluateTopKBoundsAndCases) {
   Recommender rec(model_.get());
   Rng rng(5);

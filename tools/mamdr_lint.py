@@ -25,7 +25,12 @@ the offending line):
                   All timing flows through obs::MonotonicMicros()/
                   MonotonicSeconds() so the golden-run determinism contract
                   has a single clock to reason about and instrumentation is
-                  greppable in one place.
+                  greppable in one place. Unlike the other rules the allow
+                  comment is honored ONLY in the files listed in
+                  RAW_CLOCK_COMMENT_ALLOWED (currently just the metrics
+                  server, whose slow-client deadline is genuine time_point
+                  arithmetic, not a measurement); everywhere else the rule
+                  is absolute.
   header-guard    headers must use the canonical include guard
                   ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
                   leading ``src/`` dropped), not ``#pragma once``.
@@ -67,6 +72,11 @@ DOUBLE_DECL_RE = re.compile(r"\b(?:long\s+)?double\s+[A-Za-z_]\w*")
 RAW_RAND_RE = re.compile(r"\b(?:std::)?s?rand\s*\(")
 IOSTREAM_PRINT_RE = re.compile(r"\bstd::c(?:out|err)\b")
 RAW_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
+# The only files where `// mamdr-lint: allow(raw-clock)` works. Raw clock
+# reads fragment the timing funnel, so an allow comment alone is not enough
+# — the file itself must be on this list (i.e. the exception was reviewed
+# at the linter level, not slipped into a diff).
+RAW_CLOCK_COMMENT_ALLOWED = ("src/serve/metrics_server.cc",)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -175,6 +185,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     library_file = not _in_dir(rel_path, "tools", "bench")
     status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
     clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
+    clock_comment_ok = rel_path in RAW_CLOCK_COMMENT_ALLOWED
 
     for i, raw_line in enumerate(lines, start=1):
         allowed = _allowed_rules(raw_line)
@@ -204,7 +215,8 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "iostream-print",
                             "library code must not print to std::cout/cerr; "
                             "use MAMDR_LOG or return Status"))
-        if not clock_blessed_file and "raw-clock" not in allowed:
+        if not clock_blessed_file and not (clock_comment_ok
+                                           and "raw-clock" in allowed):
             if RAW_CLOCK_RE.search(line):
                 findings.append(
                     Finding(rel_path, i, "raw-clock",

@@ -150,12 +150,30 @@ class RawClockRule(unittest.TestCase):
             "// wraps steady_clock::now() behind obs::MonotonicMicros\n")
         self.assertEqual(rules(findings), [])
 
-    def test_allow_comment(self):
+    def test_allow_comment_honored_only_in_metrics_server(self):
         findings = mamdr_lint.lint_text(
-            "src/ps/fault_injector.cc",
-            "  auto t = steady_clock::now();"
+            "src/serve/metrics_server.cc",
+            "  auto t = std::chrono::steady_clock::now();"
             "  // mamdr-lint: allow(raw-clock)\n")
         self.assertEqual(rules(findings), [])
+
+    def test_allow_comment_rejected_elsewhere(self):
+        # The raw-clock allow comment only works in the files on
+        # RAW_CLOCK_COMMENT_ALLOWED; a suppression in any other file —
+        # even in src/serve next to the blessed one — still flags.
+        for path in ("src/ps/fault_injector.cc", "src/serve/recommender.cc",
+                     "tests/serve_test.cc"):
+            findings = mamdr_lint.lint_text(
+                path,
+                "  auto t = steady_clock::now();"
+                "  // mamdr-lint: allow(raw-clock)\n")
+            self.assertEqual(rules(findings), ["raw-clock"], path)
+
+    def test_metrics_server_without_comment_still_flags(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/metrics_server.cc",
+            "  auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(rules(findings), ["raw-clock"])
 
     def test_other_clocks_not_flagged(self):
         findings = mamdr_lint.lint_text(

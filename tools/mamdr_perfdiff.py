@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag performance regressions.
+
+Both files must follow the bench JSON convention: a top-level ``entries``
+list of flat objects, where identity fields (strings and counts such as
+``kernel``, ``variant``, ``m``/``k``/``n``, ``threads``) describe *what* was
+measured and metric fields describe *how fast* it was. Metrics are
+recognized by name:
+
+  lower is better:   ``ms`` and any field ending in ``_ms`` or ``_us``
+  higher is better:  ``gflops``, ``qps``
+
+For each baseline entry the matching current entry is located by its
+identity fields; a missing entry or metric is always a failure (a bench
+must not silently drop coverage). Each metric is reduced to a regression
+ratio that is > 1 when current is worse:
+
+  lower-better:   current / baseline
+  higher-better:  baseline / current
+
+Ratios above ``--warn-ratio`` (default 1.25) print a WARNING; above
+``--fail-ratio`` (default 2.0) they fail the run. Warnings alone exit 0 so
+noisy shared CI runners don't flap the gate — pass ``--strict`` to turn
+warnings into failures (e.g. on a quiet dedicated machine).
+
+Usage:
+  tools/mamdr_perfdiff.py BASELINE.json CURRENT.json
+      [--warn-ratio X] [--fail-ratio X] [--strict]
+
+Exit status: 0 = OK (possibly with warnings), 1 = regression or missing
+coverage, 2 = usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+LOWER_BETTER_SUFFIXES = ("_ms", "_us")
+LOWER_BETTER_NAMES = ("ms",)
+HIGHER_BETTER_NAMES = ("gflops", "qps")
+
+
+def is_metric(name: str) -> bool:
+    return (name in LOWER_BETTER_NAMES or name in HIGHER_BETTER_NAMES
+            or name.endswith(LOWER_BETTER_SUFFIXES))
+
+
+def regression_ratio(name: str, base: float, cur: float) -> float:
+    """> 1 means current is worse than baseline; 0/negative values (a
+    too-coarse timer, a failed measurement) compare as no-regression."""
+    if base <= 0.0 or cur <= 0.0:
+        return 1.0
+    if name in HIGHER_BETTER_NAMES:
+        return base / cur
+    return cur / base
+
+
+def entry_key(entry: dict) -> Tuple:
+    """Identity of a bench entry: every non-metric field, order-insensitive."""
+    return tuple(sorted(
+        (k, v) for k, v in entry.items() if not is_metric(k)))
+
+
+def load_entries(path: str) -> List[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"mamdr_perfdiff: cannot read {path}: {e}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit(f"mamdr_perfdiff: {path} has no 'entries' list")
+    return entries
+
+
+def format_key(key: Tuple) -> str:
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def diff(baseline: List[dict], current: List[dict], warn_ratio: float,
+         fail_ratio: float) -> Tuple[List[str], List[str]]:
+    """Returns (warnings, failures) as printable lines."""
+    warnings: List[str] = []
+    failures: List[str] = []
+    cur_by_key: Dict[Tuple, dict] = {entry_key(e): e for e in current}
+    for base in baseline:
+        key = entry_key(base)
+        cur = cur_by_key.get(key)
+        if cur is None:
+            failures.append(f"missing entry: {format_key(key)}")
+            continue
+        for name, base_val in base.items():
+            if not is_metric(name):
+                continue
+            if name not in cur:
+                failures.append(f"missing metric {name}: {format_key(key)}")
+                continue
+            ratio = regression_ratio(name, float(base_val), float(cur[name]))
+            line = (f"{name} {float(base_val):.2f} -> {float(cur[name]):.2f} "
+                    f"({ratio:.2f}x worse): {format_key(key)}")
+            if ratio > fail_ratio:
+                failures.append(line)
+            elif ratio > warn_ratio:
+                warnings.append(line)
+    return warnings, failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--warn-ratio", type=float, default=1.25,
+                        help="warn when worse by this factor (default 1.25)")
+    parser.add_argument("--fail-ratio", type=float, default=2.0,
+                        help="fail when worse by this factor (default 2.0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    args = parser.parse_args(argv)
+    if not (1.0 <= args.warn_ratio <= args.fail_ratio):
+        print("mamdr_perfdiff: need 1.0 <= --warn-ratio <= --fail-ratio",
+              file=sys.stderr)
+        return 2
+
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
+    warnings, failures = diff(baseline, current, args.warn_ratio,
+                              args.fail_ratio)
+
+    for line in warnings:
+        print(f"WARNING: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures or (args.strict and warnings):
+        print(f"mamdr_perfdiff: {len(failures)} failure(s), "
+              f"{len(warnings)} warning(s)", file=sys.stderr)
+        return 1
+    print(f"mamdr_perfdiff: OK ({len(baseline)} entries, "
+          f"{len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mamdr_perfdiff.py.
+
+Covers metric classification, regression-ratio direction, entry matching,
+the warn/fail thresholds, and the end-to-end exit codes (including the
+acceptance case: a synthetic 2x regression must exit non-zero).
+
+Run directly (``python3 tools/mamdr_perfdiff_test.py``) or via ctest.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+import mamdr_perfdiff
+
+
+def serving_doc(qps=1000.0, p99_us=400.0):
+    return {
+        "bench": "serving",
+        "requests_per_sweep": 256,
+        "entries": [{
+            "threads": 1, "domains": 10, "requests": 256,
+            "qps": qps, "mean_us": 200.0, "p50_us": 180.0,
+            "p95_us": 350.0, "p99_us": p99_us,
+        }],
+    }
+
+
+def kernels_doc(ms=2.0, gflops=30.0):
+    return {
+        "bench": "kernels",
+        "entries": [{
+            "kernel": "matmul", "variant": "parallel",
+            "m": 512, "k": 256, "n": 256, "threads": 4,
+            "ms": ms, "gflops": gflops,
+        }],
+    }
+
+
+class MetricClassification(unittest.TestCase):
+    def test_metric_names(self):
+        for name in ("ms", "gflops", "qps", "mean_us", "p50_us", "p99_us",
+                     "total_ms"):
+            self.assertTrue(mamdr_perfdiff.is_metric(name), name)
+        for name in ("threads", "kernel", "variant", "m", "requests",
+                     "domains"):
+            self.assertFalse(mamdr_perfdiff.is_metric(name), name)
+
+    def test_ratio_direction(self):
+        # Lower-better: doubling the time is 2x worse.
+        self.assertAlmostEqual(
+            mamdr_perfdiff.regression_ratio("ms", 2.0, 4.0), 2.0)
+        # Higher-better: halving the throughput is 2x worse.
+        self.assertAlmostEqual(
+            mamdr_perfdiff.regression_ratio("qps", 1000.0, 500.0), 2.0)
+        # Improvements come out below 1 in both directions.
+        self.assertLess(
+            mamdr_perfdiff.regression_ratio("p99_us", 400.0, 100.0), 1.0)
+        self.assertLess(
+            mamdr_perfdiff.regression_ratio("gflops", 10.0, 40.0), 1.0)
+
+    def test_zero_values_never_regress(self):
+        self.assertEqual(
+            mamdr_perfdiff.regression_ratio("ms", 0.0, 5.0), 1.0)
+        self.assertEqual(
+            mamdr_perfdiff.regression_ratio("qps", 100.0, 0.0), 1.0)
+
+
+class DiffLogic(unittest.TestCase):
+    def test_identical_is_clean(self):
+        base = serving_doc()["entries"]
+        warnings, failures = mamdr_perfdiff.diff(base, base, 1.25, 2.0)
+        self.assertEqual(warnings, [])
+        self.assertEqual(failures, [])
+
+    def test_mild_regression_warns_only(self):
+        base = serving_doc(qps=1000.0)["entries"]
+        cur = serving_doc(qps=700.0)["entries"]  # 1.43x worse
+        warnings, failures = mamdr_perfdiff.diff(base, cur, 1.25, 2.0)
+        self.assertEqual(len(warnings), 1)
+        self.assertEqual(failures, [])
+
+    def test_hard_regression_fails(self):
+        base = kernels_doc(ms=2.0, gflops=30.0)["entries"]
+        cur = kernels_doc(ms=5.0, gflops=12.0)["entries"]  # 2.5x worse
+        warnings, failures = mamdr_perfdiff.diff(base, cur, 1.25, 2.0)
+        self.assertEqual(len(failures), 2)  # both ms and gflops
+
+    def test_missing_entry_fails(self):
+        base = kernels_doc()["entries"]
+        warnings, failures = mamdr_perfdiff.diff(
+            base, serving_doc()["entries"], 1.25, 2.0)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing entry", failures[0])
+
+    def test_missing_metric_fails(self):
+        base = serving_doc()["entries"]
+        cur = [dict(base[0])]
+        del cur[0]["p99_us"]
+        warnings, failures = mamdr_perfdiff.diff(base, cur, 1.25, 2.0)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing metric p99_us", failures[0])
+
+    def test_extra_current_entries_are_ignored(self):
+        # New coverage in current must not fail against an older baseline.
+        base = serving_doc()["entries"]
+        cur = base + kernels_doc()["entries"]
+        warnings, failures = mamdr_perfdiff.diff(base, cur, 1.25, 2.0)
+        self.assertEqual(failures, [])
+
+
+class EndToEnd(unittest.TestCase):
+    def _write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump(doc, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_clean_run_exits_zero(self):
+        p = self._write(serving_doc())
+        self.assertEqual(mamdr_perfdiff.main([p, p]), 0)
+
+    def test_synthetic_2x_regression_exits_nonzero(self):
+        base = self._write(serving_doc(qps=1000.0, p99_us=400.0))
+        cur = self._write(serving_doc(qps=450.0, p99_us=900.0))
+        self.assertEqual(mamdr_perfdiff.main([base, cur]), 1)
+
+    def test_warning_exits_zero_unless_strict(self):
+        base = self._write(serving_doc(qps=1000.0))
+        cur = self._write(serving_doc(qps=700.0))
+        self.assertEqual(mamdr_perfdiff.main([base, cur]), 0)
+        self.assertEqual(mamdr_perfdiff.main([base, cur, "--strict"]), 1)
+
+    def test_bad_thresholds_are_usage_errors(self):
+        p = self._write(serving_doc())
+        self.assertEqual(
+            mamdr_perfdiff.main([p, p, "--warn-ratio", "3.0"]), 2)
+
+    def test_missing_entries_list_is_schema_error(self):
+        p = self._write({"bench": "serving"})
+        with self.assertRaises(SystemExit):
+            mamdr_perfdiff.load_entries(p)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

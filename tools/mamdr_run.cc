@@ -21,6 +21,7 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "models/registry.h"
+#include "serve/metrics_server.h"
 #include "serve/recommender.h"
 
 using namespace mamdr;
@@ -52,6 +53,8 @@ void PrintUsage(const char* prog) {
       "1 = serial)\n"
       "  --metrics-out PATH write deterministic metrics/telemetry JSON "
       "(schema mamdr.metrics.v1) at exit\n"
+      "  --metrics-port N   serve live /metrics (Prometheus text) and "
+      "/healthz on 127.0.0.1:N while running (0 = off, default)\n"
       "  --trace-out PATH   write chrome://tracing span JSON at exit\n"
       "  --probe-conflict   record per-epoch cross-domain gradient conflict "
       "(needs --metrics-out)\n"
@@ -158,12 +161,28 @@ int main(int argc, char** argv) {
   const std::string fw_name = flags.GetString("framework", "MAMDR");
   const bool topk_eval = flags.GetBool("topk-eval", false);
   const std::string save_model = flags.GetString("save-model", "");
+  auto metrics_port = flags.GetIntChecked("metrics-port", 0);
+  if (!metrics_port.ok()) {
+    std::fprintf(stderr, "%s\n", metrics_port.status().ToString().c_str());
+    return 2;
+  }
 
   const auto unknown = flags.Unrecognized();
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flags: %s\n", Join(unknown, ", ").c_str());
     PrintUsage(argv[0]);
     return 2;
+  }
+
+  serve::MetricsServer metrics_server;
+  if (metrics_port.value() > 0) {
+    Status s = metrics_server.Start(static_cast<int>(metrics_port.value()));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics-port: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics endpoint: http://127.0.0.1:%d/metrics\n",
+                metrics_server.port());
   }
 
   Rng rng(mc.seed);
@@ -248,5 +267,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "observability output: %s\n", obs_error.c_str());
     return 1;
   }
+  metrics_server.Stop();
   return 0;
 }
