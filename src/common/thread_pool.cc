@@ -49,11 +49,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   tasks_submitted()->Add();
+  size_t depth;
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
-    queue_depth()->Set(static_cast<double>(queue_.size()));
+    depth = queue_.size();
   }
+  // Gauge writes happen outside the critical section: they are relaxed
+  // atomics, but there is no reason to hold the pool lock — the only lock
+  // every kernel fork/join serializes on — while publishing telemetry.
+  // Last-write-wins across racing threads is fine for a kRuntime gauge.
+  queue_depth()->Set(static_cast<double>(depth));
   cv_task_.NotifyOne();
 }
 
@@ -71,6 +77,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    size_t depth, running;
     {
       MutexLock lock(&mu_);
       while (!stop_ && queue_.empty()) cv_task_.Wait(&mu_);
@@ -78,19 +85,22 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
-      queue_depth()->Set(static_cast<double>(queue_.size()));
-      inflight()->Set(static_cast<double>(in_flight_));
+      depth = queue_.size();
+      running = in_flight_;
     }
+    queue_depth()->Set(static_cast<double>(depth));
+    inflight()->Set(static_cast<double>(running));
     // Scope guard: the decrement must run even when the task throws,
     // otherwise in_flight_ never reaches zero and Wait() blocks forever.
     struct InFlightGuard {
       ThreadPool* pool;
       ~InFlightGuard() {
+        size_t running;
         {
           MutexLock lock(&pool->mu_);
-          --pool->in_flight_;
-          inflight()->Set(static_cast<double>(pool->in_flight_));
+          running = --pool->in_flight_;
         }
+        inflight()->Set(static_cast<double>(running));
         pool->cv_done_.NotifyAll();
       }
     } guard{this};

@@ -35,21 +35,28 @@ obs::Counter* stale_rows_evicted() {
 
 std::vector<int64_t> EmbeddingCache::TouchAndGetMisses(
     const std::vector<int64_t>& rows) {
-  MutexLock lock(&mu_);
   std::vector<int64_t> misses;
   uint64_t hits = 0;
-  for (int64_t r : rows) {
-    if (cached_.insert(r).second) {
-      misses.push_back(r);
-      ++stats_.misses;
-    } else {
-      ++stats_.hits;
-      ++hits;
+  {
+    MutexLock lock(&mu_);
+    for (int64_t r : rows) {
+      if (cached_.insert(r).second) {
+        misses.push_back(r);
+      } else {
+        ++hits;
+      }
     }
   }
-  // Deduplicate (rows may repeat within a batch).
+  // Stats and registry counters update outside the row-set lock: one
+  // batched relaxed add each, so observers never serialize the worker.
+  if (hits > 0) hits_.fetch_add(hits, std::memory_order_relaxed);
+  // Deduplicate (rows may repeat within a batch; a repeat insert fails and
+  // is counted as a hit above, so `misses` is already unique in practice).
   std::sort(misses.begin(), misses.end());
   misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
+  if (!misses.empty()) {
+    misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+  }
   if (hits > 0) cache_hits()->Add(hits);
   if (!misses.empty()) cache_misses()->Add(misses.size());
   return misses;

@@ -6,11 +6,22 @@
 // fresh from the PS — "query the latest embedding on demand" — and then
 // cached. Clear() empties the cache between outer epochs.
 //
-// Thread-safe: every method locks internally, so a cache can be inspected
-// (stats, Contains) while its owning worker trains on another thread.
+// Thread-safe: the row set locks internally, so a cache can be inspected
+// (Contains, size, CachedRows) while its owning worker trains on another
+// thread. The hit/miss stats are relaxed atomics — reading them never
+// contends with the owning worker's lock (the serving-path audit showed
+// "take a mutex, copy a struct" observers are exactly the pattern that
+// serializes hot loops; the cache sits on the training path, but the same
+// discipline applies).
+//
+// Audit note (serving hot path): this cache is a PS-Worker *training*
+// structure — Recommender::TopK/Rank never touch it, so its per-call lock
+// is not part of the serving contention story. The lock is per-worker and
+// effectively uncontended during an epoch.
 #ifndef MAMDR_PS_EMBEDDING_CACHE_H_
 #define MAMDR_PS_EMBEDDING_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -48,15 +59,21 @@ class EmbeddingCache {
 
   void Clear() MAMDR_EXCLUDES(mu_);
 
-  CacheStats stats() const MAMDR_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return stats_;
+  /// Lock-free snapshot of the hit/miss totals (values read relaxed; the
+  /// pair may straddle an in-flight TouchAndGetMisses, which is fine for
+  /// telemetry).
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
   mutable Mutex mu_;
   std::unordered_set<int64_t> cached_ MAMDR_GUARDED_BY(mu_);
-  CacheStats stats_ MAMDR_GUARDED_BY(mu_);
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace ps

@@ -1,0 +1,71 @@
+#include "serve/batched_scorer.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "data/batch.h"
+
+namespace mamdr {
+namespace serve {
+
+BatchedScorer::BatchedScorer(models::CtrModel* model, metrics::ScoreFn scorer)
+    : model_(model), scorer_(std::move(scorer)) {
+  MAMDR_CHECK(model != nullptr);
+}
+
+std::vector<std::vector<float>> BatchedScorer::Score(
+    const std::vector<Request>& requests) const {
+  std::vector<std::vector<float>> out(requests.size());
+
+  // Group request indices by domain, first-seen order (scores are a pure
+  // per-row function, so group order only affects evaluation order, but a
+  // deterministic order keeps any scorer-side telemetry reproducible).
+  std::vector<std::pair<int64_t, std::vector<size_t>>> groups;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const Request& req = requests[r];
+    if (req.items == nullptr || req.items->empty()) continue;
+    bool found = false;
+    for (auto& g : groups) {
+      if (g.first == req.domain) {
+        g.second.push_back(r);
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.push_back({req.domain, {r}});
+  }
+
+  for (const auto& [domain, members] : groups) {
+    // Concatenate the member requests' rows into one batch: the gathers,
+    // GEMMs, and the sigmoid all run once over sum(pool sizes) rows.
+    size_t rows = 0;
+    for (size_t r : members) rows += requests[r].items->size();
+    data::Batch batch;
+    batch.users.reserve(rows);
+    batch.items.reserve(rows);
+    for (size_t r : members) {
+      const Request& req = requests[r];
+      batch.users.insert(batch.users.end(), req.items->size(), req.user);
+      batch.items.insert(batch.items.end(), req.items->begin(),
+                         req.items->end());
+    }
+    batch.labels.assign(rows, 0.0f);
+
+    std::vector<float> scores = scorer_ ? scorer_(batch, domain)
+                                        : model_->Score(batch, domain);
+    MAMDR_CHECK_EQ(scores.size(), rows);
+
+    // Scatter the score slices back to their requests.
+    size_t offset = 0;
+    for (size_t r : members) {
+      const size_t len = requests[r].items->size();
+      out[r].assign(scores.begin() + static_cast<std::ptrdiff_t>(offset),
+                    scores.begin() + static_cast<std::ptrdiff_t>(offset + len));
+      offset += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace mamdr

@@ -1,0 +1,62 @@
+// Request micro-batching for the serving hot path: coalesce many
+// per-request candidate-scoring calls into one model forward per domain.
+//
+// A single TopK request scores a few dozen candidates — a matrix too small
+// to amortize the per-forward fixed costs (autograd Var construction,
+// tensor allocation, kernel launch) or to keep a GEMM kernel busy. The
+// BatchedScorer concatenates the (user, item) rows of every request that
+// targets the same domain into one batch, runs ONE forward (embedding
+// gather → single blocked MatMul per layer, reusing the tiled/SIMD kernels
+// in src/tensor) and scatters the score slices back per request.
+//
+// Bit-identity with the per-request reference path: model inference in
+// eval mode is row-independent — embedding lookups gather per row, the
+// MatMul kernels give every output row its own fixed ascending-k
+// accumulation chain, activations and the sigmoid are elementwise, and
+// PartitionedNorm normalizes with per-domain moving statistics rather than
+// batch statistics. Scoring a row inside a 1000-row batch therefore
+// produces exactly the bits that scoring it alone would; tests assert this
+// across odd batch shapes. A custom ScoreFn must preserve the same
+// row-independence for the equivalence to carry over (Mamdr::Scorer()
+// does: it wraps model scoring with a per-domain parameter assembly).
+#ifndef MAMDR_SERVE_BATCHED_SCORER_H_
+#define MAMDR_SERVE_BATCHED_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/evaluator.h"
+#include "models/ctr_model.h"
+
+namespace mamdr {
+namespace serve {
+
+class BatchedScorer {
+ public:
+  /// One scoring request: score every item in `*items` for `user` in
+  /// `domain`. `items` must outlive the Score() call.
+  struct Request {
+    int64_t user = 0;
+    int64_t domain = 0;
+    const std::vector<int64_t>* items = nullptr;
+  };
+
+  explicit BatchedScorer(models::CtrModel* model,
+                         metrics::ScoreFn scorer = nullptr);
+
+  /// Scores all requests with one forward per distinct domain in the
+  /// batch. out[i] holds the scores of requests[i]'s items, in item order
+  /// (empty when the request's item list is null or empty). Thread-safety
+  /// follows the scorer, as with Recommender.
+  std::vector<std::vector<float>> Score(
+      const std::vector<Request>& requests) const;
+
+ private:
+  models::CtrModel* model_;
+  metrics::ScoreFn scorer_;
+};
+
+}  // namespace serve
+}  // namespace mamdr
+
+#endif  // MAMDR_SERVE_BATCHED_SCORER_H_

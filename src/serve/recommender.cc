@@ -1,14 +1,53 @@
+// mamdr-lint: hot-path — steady-state request code in this file must not
+// acquire a mutex; setup-only acquisitions carry an explicit allow comment.
 #include "serve/recommender.h"
 
 #include <algorithm>
 #include <cmath>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
+#include "serve/batched_scorer.h"
 
 namespace mamdr {
 namespace serve {
+
+namespace {
+
+/// Resolve the per-domain registry metrics (one-time, setup path).
+/// Request counts and pool sizes are pure functions of the served
+/// workload, so they stay in the deterministic export (kStable).
+void ResolveDomainMetrics(int64_t domain, obs::Counter** topk,
+                          obs::Counter** rank, obs::Gauge** pool) {
+  const std::string label = "{domain=\"" + std::to_string(domain) + "\"}";
+  obs::Registry& reg = obs::Registry::Global();
+  *topk = reg.counter("serve.topk.requests" + label);
+  *rank = reg.counter("serve.rank.requests" + label);
+  *pool = reg.gauge("serve.candidates" + label);
+}
+
+/// Deterministic sort + truncate shared by the per-request and batched
+/// paths. Total order: descending score, ties broken by ascending item id,
+/// so golden/bench runs are bit-stable across platforms and sort
+/// implementations.
+std::vector<RankedItem> SortRanked(const std::vector<int64_t>& items,
+                                   const std::vector<float>& scores) {
+  MAMDR_CHECK_EQ(scores.size(), items.size());
+  std::vector<RankedItem> ranked(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ranked[i] = {items[i], scores[i]};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedItem& a, const RankedItem& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.item < b.item);
+            });
+  return ranked;
+}
+
+}  // namespace
 
 Recommender::Recommender(models::CtrModel* model, metrics::ScoreFn scorer)
     : model_(model),
@@ -16,38 +55,71 @@ Recommender::Recommender(models::CtrModel* model, metrics::ScoreFn scorer)
       topk_latency_(obs::LatencyHistogram(&obs::Registry::Global(),
                                           "serve.topk.latency_micros")),
       rank_latency_(obs::LatencyHistogram(&obs::Registry::Global(),
-                                          "serve.rank.latency_micros")) {
+                                          "serve.rank.latency_micros")),
+      batch_latency_(obs::LatencyHistogram(
+          &obs::Registry::Global(), "serve.topk_batch.latency_micros")) {
   MAMDR_CHECK(model != nullptr);
+  MutexLock lock(&setup_mu_);  // mamdr-lint: allow(hot-path-lock) ctor
+  Publish(std::make_unique<const Snapshot>());
 }
 
-Recommender::DomainMetrics Recommender::domain_metrics(
+Recommender::~Recommender() = default;
+
+const Recommender::Snapshot* Recommender::Publish(
+    std::unique_ptr<const Snapshot> next) const {
+  const Snapshot* raw = next.get();
+  retired_.push_back(std::move(next));
+  // Release pairs with the acquire in FindDomain: a reader that sees the
+  // new pointer sees the fully built snapshot behind it. Old snapshots
+  // stay alive in retired_ for readers still holding them.
+  snapshot_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+const Recommender::DomainState* Recommender::FindDomain(
     int64_t domain) const {
-  MutexLock lock(&obs_mu_);
-  auto it = domain_metrics_.find(domain);
-  if (it == domain_metrics_.end()) {
-    // First request for this domain: resolve the registry pointers once.
-    // Request counts and pool sizes are pure functions of the served
-    // workload, so they stay in the deterministic export (kStable).
-    const std::string label = "{domain=\"" + std::to_string(domain) + "\"}";
-    obs::Registry& reg = obs::Registry::Global();
-    DomainMetrics m;
-    m.topk_requests = reg.counter("serve.topk.requests" + label);
-    m.rank_requests = reg.counter("serve.rank.requests" + label);
-    m.pool_size = reg.gauge("serve.candidates" + label);
-    it = domain_metrics_.emplace(domain, m).first;
-  }
-  return it->second;
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->domains.find(domain);
+  return it == snap->domains.end() ? nullptr : &it->second;
+}
+
+const Recommender::DomainState& Recommender::EnsureDomain(
+    int64_t domain) const {
+  if (const DomainState* state = FindDomain(domain)) return *state;
+  // First request ever for this domain: copy-on-write publish of a
+  // snapshot that carries its resolved metric pointers (and an empty
+  // candidate pool). One-time setup cost per domain, never steady state.
+  MutexLock lock(&setup_mu_);  // mamdr-lint: allow(hot-path-lock) setup path
+  const Snapshot* cur = snapshot_.load(std::memory_order_relaxed);
+  auto it = cur->domains.find(domain);
+  if (it != cur->domains.end()) return it->second;  // raced with a writer
+  auto next = std::make_unique<Snapshot>(*cur);
+  DomainState state;
+  ResolveDomainMetrics(domain, &state.topk_requests, &state.rank_requests,
+                       &state.pool_size);
+  auto inserted = next->domains.emplace(domain, std::move(state)).first;
+  const DomainState& ref = inserted->second;
+  Publish(std::unique_ptr<const Snapshot>(next.release()));
+  return ref;
 }
 
 void Recommender::SetCandidates(int64_t domain, std::vector<int64_t> items) {
-  candidates_[domain] = std::move(items);
-  domain_metrics(domain).pool_size->Set(
-      static_cast<double>(candidates_[domain].size()));
+  MutexLock lock(&setup_mu_);  // mamdr-lint: allow(hot-path-lock) setup path
+  const Snapshot* cur = snapshot_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<Snapshot>(*cur);
+  DomainState& state = next->domains[domain];
+  if (state.topk_requests == nullptr) {
+    ResolveDomainMetrics(domain, &state.topk_requests, &state.rank_requests,
+                         &state.pool_size);
+  }
+  state.candidates = std::move(items);
+  state.pool_size->Set(static_cast<double>(state.candidates.size()));
+  Publish(std::unique_ptr<const Snapshot>(next.release()));
 }
 
 const std::vector<int64_t>& Recommender::candidates(int64_t domain) const {
-  auto it = candidates_.find(domain);
-  return it == candidates_.end() ? empty_ : it->second;
+  const DomainState* state = FindDomain(domain);
+  return state == nullptr ? empty_ : state->candidates;
 }
 
 std::vector<RankedItem> Recommender::RankImpl(
@@ -58,41 +130,50 @@ std::vector<RankedItem> Recommender::RankImpl(
   batch.labels.assign(items.size(), 0.0f);
   std::vector<float> scores = scorer_ ? scorer_(batch, domain)
                                       : model_->Score(batch, domain);
-  MAMDR_CHECK_EQ(scores.size(), items.size());
-  std::vector<RankedItem> ranked(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    ranked[i] = {items[i], scores[i]};
-  }
-  // Total order: descending score, ties broken by ascending item id, so
-  // golden/bench runs are bit-stable across platforms and sort
-  // implementations.
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedItem& a, const RankedItem& b) {
-              return a.score > b.score ||
-                     (a.score == b.score && a.item < b.item);
-            });
-  return ranked;
+  return SortRanked(items, scores);
 }
 
 std::vector<RankedItem> Recommender::Rank(
     int64_t user, int64_t domain, const std::vector<int64_t>& items) const {
-  domain_metrics(domain).rank_requests->Add();
+  EnsureDomain(domain).rank_requests->Add();
   obs::ScopedLatencyTimer timer(rank_latency_);
   return RankImpl(user, domain, items);
 }
 
 std::vector<RankedItem> Recommender::TopK(int64_t user, int64_t domain,
                                           int64_t k) const {
-  const DomainMetrics m = domain_metrics(domain);
-  m.topk_requests->Add();
-  const auto& pool = candidates(domain);
-  m.pool_size->Set(static_cast<double>(pool.size()));
+  const DomainState& state = EnsureDomain(domain);
+  state.topk_requests->Add();
   obs::ScopedLatencyTimer timer(topk_latency_);
-  std::vector<RankedItem> ranked = RankImpl(user, domain, pool);
+  std::vector<RankedItem> ranked = RankImpl(user, domain, state.candidates);
   if (static_cast<int64_t>(ranked.size()) > k) {
     ranked.resize(static_cast<size_t>(k));
   }
   return ranked;
+}
+
+std::vector<std::vector<RankedItem>> Recommender::TopKBatched(
+    const std::vector<TopKRequest>& requests) const {
+  obs::ScopedLatencyTimer timer(batch_latency_);
+  std::vector<BatchedScorer::Request> score_reqs(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const DomainState& state = EnsureDomain(requests[r].domain);
+    state.topk_requests->Add();
+    score_reqs[r] = {requests[r].user, requests[r].domain,
+                     &state.candidates};
+  }
+  BatchedScorer scorer(model_, scorer_);
+  std::vector<std::vector<float>> scores = scorer.Score(score_reqs);
+
+  std::vector<std::vector<RankedItem>> out(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (scores[r].empty()) continue;  // empty candidate pool
+    out[r] = SortRanked(*score_reqs[r].items, scores[r]);
+    if (static_cast<int64_t>(out[r].size()) > requests[r].k) {
+      out[r].resize(static_cast<size_t>(requests[r].k));
+    }
+  }
+  return out;
 }
 
 TopKReport EvaluateTopK(const Recommender& rec,

@@ -4,6 +4,8 @@
 #ifndef MAMDR_SERVE_RECOMMENDER_H_
 #define MAMDR_SERVE_RECOMMENDER_H_
 
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -27,24 +29,43 @@ struct RankedItem {
 /// framework's Scorer() (e.g. Mamdr::Scorer()) to serve with Θ = θS + θi
 /// per domain.
 ///
-/// Every request is instrumented into the global obs registry: per-domain
-/// request counters and candidate-pool-size gauges
-/// (`serve.topk.requests{domain="D"}`, `serve.candidates{domain="D"}`) plus
-/// per-API end-to-end latency histograms (`serve.topk.latency_micros`,
-/// `serve.rank.latency_micros`, canonical obs::LatencyBucketBounds layout).
-/// The per-request cost is one uncontended mutex acquisition (the
-/// per-domain metric-pointer cache) and relaxed atomic increments; there is
-/// no registry lookup or string construction on the steady-state path.
+/// ## Concurrency contract (setup-then-serve, lock-free steady state)
+///
+/// The per-domain state (candidate pool + resolved metric pointers) lives
+/// in an immutable snapshot published through one atomic pointer.
+/// `TopK`/`Rank`/`TopKBatched` are safe to call from any number of threads
+/// concurrently and take NO lock in the steady state: a request is one
+/// acquire-load of the snapshot pointer, a hash lookup, relaxed atomic
+/// metric bumps, and the scoring pass. Writers (`SetCandidates`, plus the
+/// one-time lazy registration of a never-seen domain) serialize on a setup
+/// mutex, rebuild the snapshot copy-on-write, and publish it with a
+/// release store — concurrent readers keep using the snapshot they loaded.
+/// Retired snapshots are kept alive until the Recommender is destroyed, so
+/// references handed out (e.g. `candidates()`) never dangle; the intended
+/// lifecycle is still "register pools, then serve" — SetCandidates is
+/// correct under live traffic but costs a full snapshot copy, so it is not
+/// a hot-path operation.
+///
+/// Thread safety of the scoring pass itself is inherited from the scorer:
+/// the default model path is safe for concurrent read-only inference; a
+/// custom ScoreFn that mutates model parameters per domain (e.g.
+/// Mamdr::Scorer()) must be externally serialized, exactly as with
+/// Framework::ScorerIsThreadSafe().
 class Recommender {
  public:
   explicit Recommender(models::CtrModel* model,
                        metrics::ScoreFn scorer = nullptr);
+  ~Recommender();
 
   /// Register the serving candidate pool of a domain (typically the items
-  /// appearing in that domain's interactions).
+  /// appearing in that domain's interactions). Copy-on-write snapshot
+  /// publish: safe concurrently with readers, serialized against other
+  /// writers. Not a hot-path call (see class comment).
   void SetCandidates(int64_t domain, std::vector<int64_t> items);
 
-  /// Candidates registered for a domain (empty vector if none).
+  /// Candidates registered for a domain (empty vector if none). The
+  /// reference stays valid for the Recommender's lifetime but goes stale
+  /// if SetCandidates replaces the pool.
   const std::vector<int64_t>& candidates(int64_t domain) const;
 
   /// Score all candidates of the domain for the user and return the top k,
@@ -59,15 +80,50 @@ class Recommender {
   std::vector<RankedItem> Rank(int64_t user, int64_t domain,
                                const std::vector<int64_t>& items) const;
 
+  /// One element of a TopKBatched micro-batch.
+  struct TopKRequest {
+    int64_t user = 0;
+    int64_t domain = 0;
+    int64_t k = 0;
+  };
+
+  /// Micro-batched TopK: answers every request with ONE scoring pass per
+  /// distinct domain in the batch (embedding gather → single blocked GEMM
+  /// → scatter scores) instead of one model call per request. Results are
+  /// bit-identical to calling TopK per request — model inference is
+  /// row-independent in eval mode — in the same order as `requests`.
+  /// Throughput knob for high-QPS serving; the per-request path remains
+  /// the reference implementation.
+  std::vector<std::vector<RankedItem>> TopKBatched(
+      const std::vector<TopKRequest>& requests) const;
+
  private:
-  /// Per-domain metric pointers, resolved once per domain and cached.
-  struct DomainMetrics {
+  /// Immutable per-domain serving state. Metric pointers are resolved once
+  /// per domain (registry-lifetime) and carried from snapshot to snapshot.
+  struct DomainState {
+    std::vector<int64_t> candidates;
     obs::Counter* topk_requests = nullptr;
     obs::Counter* rank_requests = nullptr;
     obs::Gauge* pool_size = nullptr;
   };
-  DomainMetrics domain_metrics(int64_t domain) const
-      MAMDR_EXCLUDES(obs_mu_);
+  struct Snapshot {
+    std::unordered_map<int64_t, DomainState> domains;
+  };
+
+  /// Lock-free lookup in the current snapshot; nullptr when the domain has
+  /// never been seen.
+  const DomainState* FindDomain(int64_t domain) const;
+
+  /// FindDomain, or (first request for the domain) copy-on-write publish
+  /// of a snapshot that includes it. Returns a reference that lives until
+  /// the Recommender is destroyed.
+  const DomainState& EnsureDomain(int64_t domain) const
+      MAMDR_EXCLUDES(setup_mu_);
+
+  /// Install `next` as the current snapshot, retiring the previous one
+  /// (kept alive for concurrent readers until destruction).
+  const Snapshot* Publish(std::unique_ptr<const Snapshot> next) const
+      MAMDR_REQUIRES(setup_mu_);
 
   /// The uninstrumented scoring + sort core shared by TopK and Rank (so
   /// each public API observes its own end-to-end latency exactly once).
@@ -76,14 +132,22 @@ class Recommender {
 
   models::CtrModel* model_;
   metrics::ScoreFn scorer_;
-  std::unordered_map<int64_t, std::vector<int64_t>> candidates_;
   std::vector<int64_t> empty_;
 
   obs::Histogram* topk_latency_;  // registry-lifetime, cached at ctor
   obs::Histogram* rank_latency_;
-  mutable Mutex obs_mu_;
-  mutable std::unordered_map<int64_t, DomainMetrics> domain_metrics_
-      MAMDR_GUARDED_BY(obs_mu_);
+  obs::Histogram* batch_latency_;
+
+  /// Writers serialize here; readers never touch it.
+  mutable Mutex setup_mu_;
+  /// Current snapshot (acquire-load on every request; release-store on
+  /// publish). Owned by retired_.
+  mutable std::atomic<const Snapshot*> snapshot_;
+  /// Every snapshot ever published, newest last. Grows by one entry per
+  /// SetCandidates / first-seen domain — bounded by the setup-then-serve
+  /// lifecycle, freed in the destructor.
+  mutable std::vector<std::unique_ptr<const Snapshot>> retired_
+      MAMDR_GUARDED_BY(setup_mu_);
 };
 
 /// Offline top-K quality on a domain's test positives, with the standard

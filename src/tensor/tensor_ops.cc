@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel_for.h"
+#include "tensor/simd.h"
 
 // Per-kernel spans and duration histograms, compiled in only with
 // -DMAMDR_OBS_KERNELS (CMake option of the same name). The default build
@@ -57,13 +58,6 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
 }
 
-// Cache-block sizes for the matmul kernels: a kBlockK-deep panel of B is
-// streamed from L2 and reused across a kBlockM-row block of A, while
-// kTileJ C elements live in registers for a whole k-block.
-constexpr int64_t kBlockM = 32;
-constexpr int64_t kBlockK = 64;
-constexpr int64_t kTileJ = 32;
-
 // Minimum elements per chunk for parallel elementwise kernels; below this
 // the fork/join overhead outweighs the loop.
 constexpr int64_t kElemGrain = 1 << 15;
@@ -78,46 +72,13 @@ int64_t RowGrain(int64_t work_per_row) {
 // Register-tiled core shared by MatMul and MatMulTransA: accumulates
 // C[r0:r1, :] += A' * B where element (i, kk) of A' sits at
 // pa[i * sa_i + kk * sa_k] (sa_i=k, sa_k=1 for MatMul; sa_i=1, sa_k=m for
-// the transposed-A product). kTileJ C elements stay in registers for a
-// whole k-block — one C load/store per kBlockK multiply-adds — and every
-// C element receives its k-terms in the same ascending order the serial
-// seed kernel used: blocking changes memory traffic, not float rounding.
+// the transposed-A product). Every C element receives its k-terms in the
+// same ascending order the serial seed kernel used — blocking changes
+// memory traffic, not float rounding — so the runtime-dispatched AVX2 body
+// in tensor/simd.cc is bit-identical to the scalar one (see simd.h).
 void MatMulCore(const float* pa, int64_t sa_i, int64_t sa_k, const float* pb,
                 float* pc, int64_t k, int64_t n, int64_t r0, int64_t r1) {
-  for (int64_t ib = r0; ib < r1; ib += kBlockM) {
-    const int64_t imax = std::min(ib + kBlockM, r1);
-    for (int64_t kb = 0; kb < k; kb += kBlockK) {
-      const int64_t kmax = std::min(kb + kBlockK, k);
-      for (int64_t i = ib; i < imax; ++i) {
-        const float* abase = pa + i * sa_i;
-        float* crow = pc + i * n;
-        int64_t j = 0;
-        for (; j + kTileJ <= n; j += kTileJ) {
-          float acc[kTileJ];
-          float* cseg = crow + j;
-          for (int64_t t = 0; t < kTileJ; ++t) acc[t] = cseg[t];
-          for (int64_t kk = kb; kk < kmax; ++kk) {
-            const float av = abase[kk * sa_k];
-            const float* brow = pb + kk * n + j;
-            for (int64_t t = 0; t < kTileJ; ++t) acc[t] += av * brow[t];
-          }
-          for (int64_t t = 0; t < kTileJ; ++t) cseg[t] = acc[t];
-        }
-        if (j < n) {  // ragged tail of the C row
-          const int64_t jlen = n - j;
-          float acc[kTileJ];
-          float* cseg = crow + j;
-          for (int64_t t = 0; t < jlen; ++t) acc[t] = cseg[t];
-          for (int64_t kk = kb; kk < kmax; ++kk) {
-            const float av = abase[kk * sa_k];
-            const float* brow = pb + kk * n + j;
-            for (int64_t t = 0; t < jlen; ++t) acc[t] += av * brow[t];
-          }
-          for (int64_t t = 0; t < jlen; ++t) cseg[t] = acc[t];
-        }
-      }
-    }
-  }
+  simd::MatMulPanel(pa, sa_i, sa_k, pb, pc, k, n, r0, r1);
 }
 
 // Small-shape path for A * B^T where B is [n, k]: each output is a dot

@@ -31,6 +31,18 @@ the offending line):
                   server, whose slow-client deadline is genuine time_point
                   arithmetic, not a measurement); everywhere else the rule
                   is absolute.
+  hot-path-lock   a ``MutexLock`` acquisition in a file that carries the
+                  ``// mamdr-lint: hot-path`` marker comment. Marked files
+                  hold steady-state request code whose scaling contract is
+                  "no locks after setup" — the serving rebuild exists
+                  because one per-request MutexLock flattened the thread
+                  sweep. Setup/teardown paths (constructors, SetCandidates,
+                  the slow path of a copy-on-write publish) acquire locks
+                  legitimately and carry ``allow(hot-path-lock)`` on the
+                  acquisition line; a lock without the comment is presumed
+                  to be on the request path. Files without the marker are
+                  untouched by this rule, so it costs nothing until a file
+                  opts in.
   header-guard    headers must use the canonical include guard
                   ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
                   leading ``src/`` dropped), not ``#pragma once``.
@@ -77,6 +89,10 @@ RAW_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
 # — the file itself must be on this list (i.e. the exception was reviewed
 # at the linter level, not slipped into a diff).
 RAW_CLOCK_COMMENT_ALLOWED = ("src/serve/metrics_server.cc",)
+# Opt-in marker: a file containing this comment declares its steady-state
+# code lock-free; every MutexLock in it must justify itself with an allow.
+HOT_PATH_MARKER_RE = re.compile(r"//\s*mamdr-lint:\s*hot-path\b")
+MUTEX_LOCK_RE = re.compile(r"\bMutexLock\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -186,6 +202,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
     clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
     clock_comment_ok = rel_path in RAW_CLOCK_COMMENT_ALLOWED
+    hot_path_file = HOT_PATH_MARKER_RE.search(text) is not None
 
     for i, raw_line in enumerate(lines, start=1):
         allowed = _allowed_rules(raw_line)
@@ -222,6 +239,13 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "raw-clock",
                             "read time via obs::MonotonicMicros()/"
                             "MonotonicSeconds(), not steady_clock::now()"))
+        if hot_path_file and "hot-path-lock" not in allowed:
+            if MUTEX_LOCK_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "hot-path-lock",
+                            "MutexLock in a hot-path file; move the lock off "
+                            "the request path or justify with "
+                            "// mamdr-lint: allow(hot-path-lock)"))
         if status_file and "ignored-status" not in allowed:
             stripped = line.rstrip()
             # Statement-position only: the call opens the line, the line is a

@@ -275,6 +275,55 @@ class IgnoredStatusRule(unittest.TestCase):
         self.assertEqual(rules(findings), [])
 
 
+class HotPathLockRule(unittest.TestCase):
+    MARKER = "// mamdr-lint: hot-path — request code is lock-free\n"
+
+    def test_flags_lock_in_marked_file(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            self.MARKER + "void F() {\n  MutexLock lock(&mu_);\n}\n")
+        self.assertEqual(rules(findings), ["hot-path-lock"])
+        self.assertEqual(findings[0].line, 3)
+
+    def test_unmarked_file_is_untouched(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            "void F() {\n  MutexLock lock(&mu_);\n}\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            self.MARKER
+            + "  MutexLock lock(&mu_);"
+            "  // mamdr-lint: allow(hot-path-lock) setup path\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_marker_works_anywhere_in_tree(self):
+        # The rule is opt-in by marker, not by directory: a marked core
+        # file gets the same scrutiny as serve/.
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            self.MARKER + "  MutexLock lock(&mu_);\n")
+        self.assertEqual(rules(findings), ["hot-path-lock"])
+
+    def test_comment_mention_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            self.MARKER + "// replaced the per-request MutexLock here\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_each_unallowed_lock_is_flagged(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            self.MARKER
+            + "  MutexLock a(&mu_);  // mamdr-lint: allow(hot-path-lock)\n"
+            "  MutexLock b(&mu_);\n"
+            "  MutexLock c(&mu_);\n")
+        self.assertEqual(rules(findings),
+                         ["hot-path-lock", "hot-path-lock"])
+
+
 class TreeIntegration(unittest.TestCase):
     def test_repository_is_clean(self):
         root = mamdr_lint.os.path.dirname(

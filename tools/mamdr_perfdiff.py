@@ -8,7 +8,7 @@ measured and metric fields describe *how fast* it was. Metrics are
 recognized by name:
 
   lower is better:   ``ms`` and any field ending in ``_ms`` or ``_us``
-  higher is better:  ``gflops``, ``qps``
+  higher is better:  ``gflops``, ``qps``, ``scaling_efficiency``
 
 For each baseline entry the matching current entry is located by its
 identity fields; a missing entry or metric is always a failure (a bench
@@ -23,9 +23,21 @@ Ratios above ``--warn-ratio`` (default 1.25) print a WARNING; above
 noisy shared CI runners don't flap the gate — pass ``--strict`` to turn
 warnings into failures (e.g. on a quiet dedicated machine).
 
+Thread-scaling gate: entries in the CURRENT file that carry both a
+``threads`` identity field and a ``qps`` metric are additionally checked
+for monotonicity — within each group of entries identical except for
+``threads``, ``qps`` at every thread count must be at least
+``--min-thread-scaling`` (default 0.95) times ``qps`` at the group's
+lowest thread count. A serving stack whose throughput *drops* when given
+more threads has a contention bug, and this is the gate that catches it
+regardless of what the baseline file says (a baseline recorded with the
+bug must not grandfather it in). ``--no-thread-scaling-check`` disables
+the gate. Groups with a single thread count are skipped.
+
 Usage:
   tools/mamdr_perfdiff.py BASELINE.json CURRENT.json
       [--warn-ratio X] [--fail-ratio X] [--strict]
+      [--min-thread-scaling X] [--no-thread-scaling-check]
 
 Exit status: 0 = OK (possibly with warnings), 1 = regression or missing
 coverage, 2 = usage/schema error.
@@ -40,7 +52,7 @@ from typing import Dict, List, Tuple
 
 LOWER_BETTER_SUFFIXES = ("_ms", "_us")
 LOWER_BETTER_NAMES = ("ms",)
-HIGHER_BETTER_NAMES = ("gflops", "qps")
+HIGHER_BETTER_NAMES = ("gflops", "qps", "scaling_efficiency")
 
 
 def is_metric(name: str) -> bool:
@@ -108,6 +120,44 @@ def diff(baseline: List[dict], current: List[dict], warn_ratio: float,
     return warnings, failures
 
 
+def thread_scaling_failures(current: List[dict],
+                            min_scaling: float) -> List[str]:
+    """QPS monotonicity across a thread sweep, on the CURRENT file only.
+
+    Groups entries by identity-minus-``threads`` and requires
+    ``qps@N >= min_scaling * qps@base`` for every N, where base is the
+    group's lowest thread count. Self-referential on purpose: negative
+    thread scaling is a bug in absolute terms, not relative to a baseline
+    that may itself have been recorded with the bug.
+    """
+    failures: List[str] = []
+    groups: Dict[Tuple, List[dict]] = {}
+    for entry in current:
+        if "qps" not in entry or "threads" not in entry:
+            continue
+        key = tuple(sorted((k, v) for k, v in entry.items()
+                           if not is_metric(k) and k != "threads"))
+        groups.setdefault(key, []).append(entry)
+    for key, entries in sorted(groups.items()):
+        if len(entries) < 2:
+            continue
+        entries.sort(key=lambda e: float(e["threads"]))
+        base = entries[0]
+        base_qps = float(base["qps"])
+        if base_qps <= 0.0:
+            continue
+        floor = min_scaling * base_qps
+        for entry in entries[1:]:
+            qps = float(entry["qps"])
+            if qps < floor:
+                failures.append(
+                    f"negative thread scaling: qps {qps:.2f} @ "
+                    f"threads={entry['threads']} < {min_scaling:.2f} * "
+                    f"{base_qps:.2f} @ threads={base['threads']}: "
+                    f"{format_key(key)}")
+    return failures
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline BENCH_*.json")
@@ -118,9 +168,18 @@ def main(argv: List[str]) -> int:
                         help="fail when worse by this factor (default 2.0)")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
+    parser.add_argument("--min-thread-scaling", type=float, default=0.95,
+                        help="fail when qps@N drops below this fraction of "
+                             "qps at the lowest thread count (default 0.95)")
+    parser.add_argument("--no-thread-scaling-check", action="store_true",
+                        help="skip the qps-vs-threads monotonicity gate")
     args = parser.parse_args(argv)
     if not (1.0 <= args.warn_ratio <= args.fail_ratio):
         print("mamdr_perfdiff: need 1.0 <= --warn-ratio <= --fail-ratio",
+              file=sys.stderr)
+        return 2
+    if not (0.0 < args.min_thread_scaling <= 1.0):
+        print("mamdr_perfdiff: need 0.0 < --min-thread-scaling <= 1.0",
               file=sys.stderr)
         return 2
 
@@ -128,6 +187,9 @@ def main(argv: List[str]) -> int:
     current = load_entries(args.current)
     warnings, failures = diff(baseline, current, args.warn_ratio,
                               args.fail_ratio)
+    if not args.no_thread_scaling_check:
+        failures.extend(
+            thread_scaling_failures(current, args.min_thread_scaling))
 
     for line in warnings:
         print(f"WARNING: {line}")

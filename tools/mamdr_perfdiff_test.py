@@ -29,6 +29,17 @@ def serving_doc(qps=1000.0, p99_us=400.0):
     }
 
 
+def sweep_doc(qps_by_threads, mode="per_request"):
+    """A serving doc with one entry per (threads, qps) pair."""
+    return {
+        "bench": "serving",
+        "entries": [{
+            "mode": mode, "threads": t, "domains": 10, "requests": 256,
+            "qps": q,
+        } for t, q in qps_by_threads],
+    }
+
+
 def kernels_doc(ms=2.0, gflops=30.0):
     return {
         "bench": "kernels",
@@ -43,11 +54,20 @@ def kernels_doc(ms=2.0, gflops=30.0):
 class MetricClassification(unittest.TestCase):
     def test_metric_names(self):
         for name in ("ms", "gflops", "qps", "mean_us", "p50_us", "p99_us",
-                     "total_ms"):
+                     "total_ms", "scaling_efficiency"):
             self.assertTrue(mamdr_perfdiff.is_metric(name), name)
         for name in ("threads", "kernel", "variant", "m", "requests",
-                     "domains"):
+                     "domains", "mode"):
             self.assertFalse(mamdr_perfdiff.is_metric(name), name)
+
+    def test_scaling_efficiency_is_higher_better(self):
+        # Halving efficiency is a 2x regression; if scaling_efficiency were
+        # ever treated as an identity field instead, entries would stop
+        # matching their baseline and every diff would report missing
+        # coverage — this test pins the metric classification.
+        self.assertAlmostEqual(
+            mamdr_perfdiff.regression_ratio(
+                "scaling_efficiency", 1.0, 0.5), 2.0)
 
     def test_ratio_direction(self):
         # Lower-better: doubling the time is 2x worse.
@@ -112,6 +132,57 @@ class DiffLogic(unittest.TestCase):
         self.assertEqual(failures, [])
 
 
+class ThreadScaling(unittest.TestCase):
+    def test_monotone_sweep_is_clean(self):
+        cur = sweep_doc([(1, 1000.0), (2, 1990.0), (4, 3900.0)])["entries"]
+        self.assertEqual(
+            mamdr_perfdiff.thread_scaling_failures(cur, 0.95), [])
+
+    def test_flat_sweep_is_clean(self):
+        # On a single-core machine perfect scaling is flat QPS.
+        cur = sweep_doc([(1, 1000.0), (2, 990.0), (8, 960.0)])["entries"]
+        self.assertEqual(
+            mamdr_perfdiff.thread_scaling_failures(cur, 0.95), [])
+
+    def test_negative_scaling_fails(self):
+        # The seed repo's actual failure shape: QPS drops as threads grow.
+        cur = sweep_doc([(1, 18863.0), (2, 17203.0), (4, 16953.0)])["entries"]
+        failures = mamdr_perfdiff.thread_scaling_failures(cur, 0.95)
+        self.assertEqual(len(failures), 2)  # both 2 and 4 are < 0.95x
+        self.assertIn("negative thread scaling", failures[0])
+
+    def test_groups_split_by_identity(self):
+        # A slow mode must not be compared against a fast mode's qps@1.
+        cur = (sweep_doc([(1, 1000.0), (4, 990.0)], mode="per_request")
+               ["entries"]
+               + sweep_doc([(1, 400.0), (4, 395.0)], mode="batched")
+               ["entries"])
+        self.assertEqual(
+            mamdr_perfdiff.thread_scaling_failures(cur, 0.95), [])
+
+    def test_single_thread_count_is_skipped(self):
+        cur = sweep_doc([(4, 100.0)])["entries"]
+        self.assertEqual(
+            mamdr_perfdiff.thread_scaling_failures(cur, 0.95), [])
+
+    def test_entries_without_qps_or_threads_are_skipped(self):
+        cur = [{"kernel": "matmul", "ms": 2.0},
+               {"mode": "batched", "threads": 2, "qps": 50.0}]
+        self.assertEqual(
+            mamdr_perfdiff.thread_scaling_failures(cur, 0.95), [])
+
+    def test_gate_is_self_referential_not_baseline_relative(self):
+        # Even when baseline and current are identical (no diff failures),
+        # a negatively-scaling current file must still fail: a baseline
+        # recorded with the bug does not grandfather it in.
+        doc = sweep_doc([(1, 1000.0), (4, 800.0)])
+        base = doc["entries"]
+        warnings, failures = mamdr_perfdiff.diff(base, base, 1.25, 2.0)
+        self.assertEqual(failures, [])
+        self.assertEqual(
+            len(mamdr_perfdiff.thread_scaling_failures(base, 0.95)), 1)
+
+
 class EndToEnd(unittest.TestCase):
     def _write(self, doc):
         f = tempfile.NamedTemporaryFile(
@@ -140,6 +211,18 @@ class EndToEnd(unittest.TestCase):
         p = self._write(serving_doc())
         self.assertEqual(
             mamdr_perfdiff.main([p, p, "--warn-ratio", "3.0"]), 2)
+        self.assertEqual(
+            mamdr_perfdiff.main([p, p, "--min-thread-scaling", "1.5"]), 2)
+
+    def test_negative_scaling_exits_nonzero(self):
+        doc = sweep_doc([(1, 1000.0), (2, 900.0), (4, 850.0)])
+        p = self._write(doc)
+        self.assertEqual(mamdr_perfdiff.main([p, p]), 1)
+        self.assertEqual(
+            mamdr_perfdiff.main([p, p, "--no-thread-scaling-check"]), 0)
+        # A looser floor admits the same file.
+        self.assertEqual(
+            mamdr_perfdiff.main([p, p, "--min-thread-scaling", "0.8"]), 0)
 
     def test_missing_entries_list_is_schema_error(self):
         p = self._write({"bench": "serving"})
