@@ -1,0 +1,363 @@
+#include "common/lockdep.h"
+
+#if MAMDR_LOCKDEP_IS_ON()
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>  // mamdr-lint: allow(native-mutex) lockdep internals must not instrument themselves
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define MAMDR_LOCKDEP_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef MAMDR_LOCKDEP_HAVE_BACKTRACE
+#define MAMDR_LOCKDEP_HAVE_BACKTRACE 0
+#endif
+
+namespace mamdr {
+namespace lockdep {
+
+// The lock classes, the order graph, and the per-thread held sets. All
+// global state serializes on one raw std::mutex: lockdep must not flow
+// through the instrumented wrappers it is watching, or every hook would
+// recurse into itself. Debug-only code, so a single global lock is fine.
+namespace {
+
+constexpr int kMaxFrames = 16;
+constexpr int kMaxHeld = 32;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+void CaptureStack(Stack* s) {
+#if MAMDR_LOCKDEP_HAVE_BACKTRACE
+  s->depth = ::backtrace(s->frames, kMaxFrames);
+#else
+  s->depth = 0;
+#endif
+}
+
+void AppendStack(const Stack& s, const char* indent, std::string* out) {
+#if MAMDR_LOCKDEP_HAVE_BACKTRACE
+  if (s.depth > 0) {
+    char** symbols = ::backtrace_symbols(s.frames, s.depth);
+    for (int i = 0; i < s.depth; ++i) {
+      out->append(indent);
+      if (symbols != nullptr && symbols[i] != nullptr) {
+        out->append(symbols[i]);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%p", s.frames[i]);
+        out->append(buf);
+      }
+      out->push_back('\n');
+    }
+    std::free(symbols);
+    return;
+  }
+#endif
+  out->append(indent);
+  out->append("<no backtrace available>\n");
+}
+
+struct HeldLock {
+  const Mutex* mu = nullptr;
+  const LockClass* cls = nullptr;
+  Stack stack;
+};
+
+// Per-thread held-lock stack plus the re-entrancy latch: hooks triggered
+// while lockdep itself runs (e.g. the logging mutex taken while a report is
+// being emitted) are ignored instead of recursing.
+struct ThreadState {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+  bool busy = false;
+};
+
+thread_local ThreadState t_state;
+
+struct Edge {
+  const LockClass* from = nullptr;
+  const LockClass* to = nullptr;
+  /// Where `from` was held (its acquisition stack) when the edge was first
+  /// observed, and where `to` was being acquired. Together: the witness.
+  Stack from_stack;
+  Stack to_stack;
+};
+
+uint64_t EdgeKey(int from_id, int to_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from_id)) << 32) |
+         static_cast<uint32_t>(to_id);
+}
+
+struct Graph {
+  std::mutex mu;  // mamdr-lint: allow(native-mutex) lockdep internals
+  std::vector<LockClass*> classes;
+  std::unordered_map<std::string, int> class_ids;
+  /// Observed (and violation-free) order edges, keyed (from_id, to_id).
+  std::unordered_map<uint64_t, Edge> edges;
+  /// Adjacency over class ids, mirroring `edges`.
+  std::vector<std::vector<int>> adj;
+  /// Edges already reported as violations (never inserted into the graph,
+  /// so the graph stays acyclic and each inversion is reported once).
+  std::unordered_map<uint64_t, bool> reported;
+  /// Blocking-under-lock sites already reported, keyed "what|class".
+  std::unordered_map<std::string, bool> reported_blocking;
+  std::string last_report;
+};
+
+std::atomic<uint64_t> g_violations{0};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: hooks may run during exit
+  return *g;
+}
+
+}  // namespace
+
+class LockClass {
+ public:
+  explicit LockClass(std::string name, int id)
+      : name_(std::move(name)), id_(id) {}
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+
+ private:
+  std::string name_;
+  int id_;
+};
+
+namespace {
+
+/// DFS over the order graph: is `target` reachable from `start`? On
+/// success, `path` holds the class ids from `start` to `target` inclusive.
+/// The graph is acyclic by construction (violating edges are never
+/// inserted), so plain DFS terminates. Caller holds graph().mu.
+bool FindPath(const Graph& g, int start, int target, std::vector<int>* path) {
+  path->push_back(start);
+  if (start == target) return true;
+  if (start < static_cast<int>(g.adj.size())) {
+    for (int next : g.adj[start]) {
+      if (FindPath(g, next, target, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+/// Emit `report`: remember it, bump the counter, and log it with the
+/// re-entrancy latch held so the logging mutex does not re-enter lockdep.
+/// Caller must NOT hold graph().mu (logging can be slow).
+void Report(std::string report) {
+  {
+    std::lock_guard<std::mutex> lock(graph().mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+    graph().last_report = report;
+  }
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  MAMDR_LOG(Error) << "lockdep violation\n" << report;
+}
+
+}  // namespace
+
+const LockClass* RegisterClass(const char* name) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+  auto it = g.class_ids.find(name);
+  if (it != g.class_ids.end()) return g.classes[it->second];
+  const int id = static_cast<int>(g.classes.size());
+  g.classes.push_back(new LockClass(name, id));  // interned for the process
+  g.class_ids.emplace(name, id);
+  if (static_cast<int>(g.adj.size()) <= id) g.adj.resize(id + 1);
+  return g.classes[id];
+}
+
+const char* ClassName(const LockClass* cls) {
+  return cls == nullptr ? "<unnamed>" : cls->name().c_str();
+}
+
+void OnLock(const Mutex* mu, const LockClass* cls) {
+  ThreadState& ts = t_state;
+  if (ts.busy) return;
+  ts.busy = true;
+  std::string report;
+  if (cls != nullptr) {
+    // Order edges against every distinct held class; same-class nesting is
+    // its own violation (one instance self-deadlocks, two have no provable
+    // order).
+    for (int i = 0; i < ts.depth && report.empty(); ++i) {
+      const LockClass* held = ts.held[i].cls;
+      if (held == nullptr) continue;
+      if (held == cls) {
+        report = "lockdep: same-class nesting: acquiring a '" + cls->name() +
+                 "' lock while already holding one\n";
+        Stack here;
+        CaptureStack(&here);
+        report += "  second acquisition at:\n";
+        AppendStack(here, "    ", &report);
+        report += "  first acquisition at:\n";
+        AppendStack(ts.held[i].stack, "    ", &report);
+        break;
+      }
+      Graph& g = graph();
+      std::lock_guard<std::mutex> lock(g.mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+      const uint64_t key = EdgeKey(held->id(), cls->id());
+      if (g.edges.count(key) != 0 || g.reported.count(key) != 0) continue;
+      // New edge held→cls. It closes a cycle iff held is reachable from
+      // cls through the existing order graph.
+      std::vector<int> path;
+      if (FindPath(g, cls->id(), held->id(), &path)) {
+        g.reported.emplace(key, true);
+        report = "lockdep: lock-order inversion: acquiring '" + cls->name() +
+                 "' while holding '" + held->name() + "', but the recorded "
+                 "order requires '" + cls->name() + "' before '" +
+                 held->name() + "'\n  cycle: " + held->name();
+        for (int id : path) report += " -> " + g.classes[id]->name();
+        report += "\n  this acquisition of '" + cls->name() + "' at:\n";
+        Stack here;
+        CaptureStack(&here);
+        AppendStack(here, "    ", &report);
+        report += "  '" + held->name() + "' held here, acquired at:\n";
+        AppendStack(ts.held[i].stack, "    ", &report);
+        // Witnesses for every recorded edge along the existing path.
+        for (size_t p = 0; p + 1 < path.size(); ++p) {
+          auto eit = g.edges.find(EdgeKey(path[p], path[p + 1]));
+          if (eit == g.edges.end()) continue;
+          const Edge& e = eit->second;
+          report += "  recorded edge '" + e.from->name() + "' -> '" +
+                    e.to->name() + "': '" + e.to->name() + "' acquired at:\n";
+          AppendStack(e.to_stack, "    ", &report);
+          report += "    while '" + e.from->name() + "' was held, acquired at:\n";
+          AppendStack(e.from_stack, "    ", &report);
+        }
+      } else {
+        Edge e;
+        e.from = held;
+        e.to = cls;
+        e.from_stack = ts.held[i].stack;
+        CaptureStack(&e.to_stack);
+        g.edges.emplace(key, e);
+        g.adj[held->id()].push_back(cls->id());
+      }
+    }
+  }
+  if (ts.depth < kMaxHeld) {
+    HeldLock& h = ts.held[ts.depth];
+    h.mu = mu;
+    h.cls = cls;
+    CaptureStack(&h.stack);
+    ++ts.depth;
+  }
+  ts.busy = false;
+  if (!report.empty()) Report(std::move(report));
+}
+
+void OnTryLock(const Mutex* mu, const LockClass* cls) {
+  ThreadState& ts = t_state;
+  if (ts.busy) return;
+  // A successful try-lock cannot block, so it constrains no order; it only
+  // joins the held set so later checks see it.
+  if (ts.depth < kMaxHeld) {
+    HeldLock& h = ts.held[ts.depth];
+    h.mu = mu;
+    h.cls = cls;
+    CaptureStack(&h.stack);
+    ++ts.depth;
+  }
+}
+
+void OnUnlock(const Mutex* mu) {
+  ThreadState& ts = t_state;
+  if (ts.busy) return;
+  for (int i = ts.depth - 1; i >= 0; --i) {
+    if (ts.held[i].mu == mu) {
+      for (int j = i; j + 1 < ts.depth; ++j) ts.held[j] = ts.held[j + 1];
+      --ts.depth;
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Shared body of OnCondVarWait / AssertNoLocksHeld: report `what` as a
+/// blocking operation if any held lock other than `exempt` exists.
+void CheckBlocking(const char* what, const Mutex* exempt) {
+  ThreadState& ts = t_state;
+  if (ts.busy) return;
+  int offender = -1;
+  for (int i = 0; i < ts.depth; ++i) {
+    if (ts.held[i].mu != exempt) {
+      offender = i;
+      break;
+    }
+  }
+  if (offender < 0) return;
+  ts.busy = true;
+  const HeldLock& h = ts.held[offender];
+  const std::string cls_name = ClassName(h.cls);
+  const std::string dedup_key = std::string(what) + "|" + cls_name;
+  bool fresh;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+    fresh = g.reported_blocking.emplace(dedup_key, true).second;
+  }
+  if (fresh) {
+    std::string report = "lockdep: blocking operation '" +
+                         std::string(what) + "' while holding '" + cls_name +
+                         "'\n  blocking call at:\n";
+    Stack here;
+    CaptureStack(&here);
+    AppendStack(here, "    ", &report);
+    report += "  '" + cls_name + "' acquired at:\n";
+    AppendStack(h.stack, "    ", &report);
+    Report(std::move(report));
+  }
+  ts.busy = false;
+}
+
+}  // namespace
+
+void OnCondVarWait(const Mutex* mu) { CheckBlocking("condvar.wait", mu); }
+
+void AssertNoLocksHeld(const char* what) { CheckBlocking(what, nullptr); }
+
+uint64_t ViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::string LastReport() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+  return g.last_report;
+}
+
+int HeldCount() { return t_state.depth; }
+
+void ResetForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // mamdr-lint: allow(native-mutex) lockdep internals
+  g.edges.clear();
+  g.reported.clear();
+  g.reported_blocking.clear();
+  g.last_report.clear();
+  for (auto& out : g.adj) out.clear();
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lockdep
+}  // namespace mamdr
+
+#endif  // MAMDR_LOCKDEP_IS_ON()

@@ -3,13 +3,22 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace mamdr {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+
+// Leaf lock: never acquires anything while held, so any thread may log
+// while holding other locks without creating order constraints beyond
+// "<anything> -> common.logging". Wrapped (not raw) so lockdep records
+// exactly that.
+Mutex& log_mutex() {
+  static Mutex* mu = new Mutex(MAMDR_LOCK_CLASS("common.logging"));
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,7 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (fatal_ || static_cast<int>(level_) >= g_min_level.load()) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(&log_mutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -17,7 +17,7 @@ int64_t ResolveThreads(int64_t requested) {
   return hw == 0 ? 1 : static_cast<int64_t>(hw);
 }
 
-Mutex g_pool_mu;
+Mutex g_pool_mu{MAMDR_LOCK_CLASS("common.parallel_for.pool")};
 int64_t g_requested_threads MAMDR_GUARDED_BY(g_pool_mu) = 0;  // 0 = auto
 std::shared_ptr<ThreadPool> g_pool MAMDR_GUARDED_BY(g_pool_mu);
 
@@ -85,7 +85,7 @@ void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
   // Per-call completion latch: concurrent ParallelFor calls may share the
   // pool, so waiting on pool->Wait() would over-wait (or race on rethrow).
   struct State {
-    Mutex mu;
+    Mutex mu{MAMDR_LOCK_CLASS("common.parallel_for.latch")};
     CondVar cv;
     int64_t remaining MAMDR_GUARDED_BY(mu) = 0;
     std::exception_ptr error MAMDR_GUARDED_BY(mu);

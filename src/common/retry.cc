@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 
@@ -55,6 +56,10 @@ int64_t RetryPolicy::NextBackoffUs(int attempt) {
 }
 
 Status RetryPolicy::Run(const std::function<Status()>& op, const char* what) {
+  // A retried op is a blocking call (it may sleep through the whole backoff
+  // schedule); issuing one while a mutex is held stalls every thread that
+  // needs the lock for the full retry budget — lockdep flags it.
+  lockdep::AssertNoLocksHeld("retry.run");
   last_backoffs_us_.clear();
   last_attempts_ = 0;
   int64_t scheduled_us = 0;

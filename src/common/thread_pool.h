@@ -38,7 +38,7 @@ class ThreadPool {
   void WorkerLoop() MAMDR_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;  // immutable after construction
-  Mutex mu_;
+  Mutex mu_{MAMDR_LOCK_CLASS("common.thread_pool")};
   CondVar cv_task_;
   CondVar cv_done_;
   std::deque<std::function<void()>> queue_ MAMDR_GUARDED_BY(mu_);

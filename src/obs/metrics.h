@@ -171,7 +171,7 @@ class Registry {
   std::string ToJson(bool include_runtime) const MAMDR_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("obs.registry")};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       MAMDR_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -88,7 +88,7 @@ class TelemetrySink {
 
  private:
   const TelemetryOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("obs.telemetry")};
   std::vector<DomainEpochRecord> domain_epochs_ MAMDR_GUARDED_BY(mu_);
   std::vector<EvalRecord> evals_ MAMDR_GUARDED_BY(mu_);
   std::vector<ConflictRecord> conflicts_ MAMDR_GUARDED_BY(mu_);

@@ -27,7 +27,7 @@ struct Event {
 };
 
 struct Recorder {
-  Mutex mu;
+  Mutex mu{MAMDR_LOCK_CLASS("obs.trace")};
   std::vector<Event> events MAMDR_GUARDED_BY(mu);
   uint64_t dropped MAMDR_GUARDED_BY(mu) = 0;
 };

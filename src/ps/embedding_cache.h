@@ -70,7 +70,7 @@ class EmbeddingCache {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("ps.embedding_cache")};
   std::unordered_set<int64_t> cached_ MAMDR_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 
@@ -101,6 +102,10 @@ FaultInjector::Decision FaultInjector::Enter(bool is_push) {
     }
   }
   if (sleep_now && config_.latency_us > 0) {
+    // The injected latency models a slow RPC; like a real one, it must not
+    // run while the caller holds a lock (the injector's own mu_ is already
+    // released above — lockdep verifies nothing else is held either).
+    lockdep::AssertNoLocksHeld("ps.fault_injector.latency");
     std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_us));
   }
   return d;

@@ -97,7 +97,7 @@ class FaultInjector : public PsClient {
 
   std::unique_ptr<PsClient> inner_;
   FaultConfig config_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("ps.fault_injector")};
   Rng rng_ MAMDR_GUARDED_BY(mu_);
   FaultStats stats_ MAMDR_GUARDED_BY(mu_);
   bool crashed_ MAMDR_GUARDED_BY(mu_) = false;

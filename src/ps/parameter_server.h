@@ -75,7 +75,7 @@ class ParameterServer {
   void ResetStats() MAMDR_EXCLUDES(mu_);
 
  private:
-  Mutex mu_;
+  Mutex mu_{MAMDR_LOCK_CLASS("ps.state")};
   std::vector<Tensor> params_ MAMDR_GUARDED_BY(mu_);
   std::vector<bool> is_embedding_;  // immutable after construction
   PsStats stats_ MAMDR_GUARDED_BY(mu_);

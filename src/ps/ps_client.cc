@@ -1,32 +1,48 @@
 #include "ps/ps_client.h"
 
+#include "common/lockdep.h"
 #include "common/logging.h"
 
 namespace mamdr {
 namespace ps {
+
+namespace {
+
+// Every PS op models an RPC to another process: it can block for a network
+// round trip (or, decorated by the fault injector, a retry/backoff
+// schedule). Issuing one while any mutex is held is the
+// blocking-under-lock pattern lockdep exists to catch, so the check sits
+// at the client boundary where all op shapes funnel through.
+void CheckBlockingBoundary() { lockdep::AssertNoLocksHeld("ps.client.op"); }
+
+}  // namespace
 
 DirectPsClient::DirectPsClient(ParameterServer* server) : server_(server) {
   MAMDR_CHECK(server_ != nullptr);
 }
 
 Status DirectPsClient::PullDense(std::vector<Tensor>* out) {
+  CheckBlockingBoundary();
   server_->PullDense(out);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
 
 Status DirectPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
                                 Tensor* into) {
+  CheckBlockingBoundary();
   server_->PullRows(idx, rows, into);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
 
 Status DirectPsClient::PullFullTable(int64_t idx, Tensor* into) {
+  CheckBlockingBoundary();
   server_->PullFullTable(idx, into);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
 
 Status DirectPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
                                       float beta) {
+  CheckBlockingBoundary();
   server_->PushDenseDelta(delta, beta);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
@@ -34,11 +50,13 @@ Status DirectPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
 Status DirectPsClient::PushRowDeltas(int64_t idx,
                                      const std::vector<int64_t>& rows,
                                      const Tensor& delta, float beta) {
+  CheckBlockingBoundary();
   server_->PushRowDeltas(idx, rows, delta, beta);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
 
 Result<std::vector<Tensor>> DirectPsClient::Snapshot() {
+  CheckBlockingBoundary();
   return server_->SnapshotAll();
 }
 

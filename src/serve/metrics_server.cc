@@ -6,7 +6,6 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -231,30 +230,44 @@ void MetricsServer::AcceptLoop() {
 
 void MetricsServer::HandleConnection(int fd) {
   // Slow-client guard: a scraper that stalls mid-request must not wedge the
-  // accept loop. The deadline is OS-level time_point arithmetic around
-  // poll(), not a measured duration, so it deliberately bypasses the
-  // obs::MonotonicMicros funnel — the lint raw-clock rule admits exactly
-  // this file (and only this file) via the allow comments below.
-  const std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::now() +  // mamdr-lint: allow(raw-clock)
-      std::chrono::seconds(2);
+  // accept loop. A reader thread serves the request with plain blocking
+  // I/O; the accept thread enforces the deadline with a timed
+  // condition-variable wait (CondVar::WaitFor) and, on timeout, shuts the
+  // socket down, which unblocks the reader's recv(). No deadline
+  // arithmetic, no raw clock reads — the timeout lives entirely in the
+  // wait. (A spurious wakeup restarts the full budget; that only ever
+  // extends the deadline for a client that is still connected.)
+  Mutex mu{MAMDR_LOCK_CLASS("serve.metrics_server.conn")};
+  CondVar cv;
+  bool done = false;
+  std::thread reader([&] {
+    ServeRequest(fd);
+    MutexLock lock(&mu);
+    done = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!done) {
+      if (!cv.WaitFor(&mu, slow_client_timeout_us_)) {
+        // Timed out: force the reader off the socket, then wait for it to
+        // acknowledge so the fd is not closed under its feet.
+        ::shutdown(fd, SHUT_RDWR);
+        while (!done) cv.Wait(&mu);
+      }
+    }
+  }
+  reader.join();
+}
+
+void MetricsServer::ServeRequest(int fd) {
   std::string request;
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < 8192) {
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            deadline -
-            std::chrono::steady_clock::now());  // mamdr-lint: allow(raw-clock)
-    if (remaining.count() <= 0) return;  // slow client, drop silently
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
-    if (rc < 0 && errno == EINTR) continue;
-    if (rc <= 0) return;
     char buf[1024];
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // closed, shut down by the watchdog, or broken
     request.append(buf, static_cast<size_t>(n));
   }
 

@@ -7,16 +7,21 @@
 // latency histograms are the point) in Prometheus text exposition format
 // v0.0.4, GET /healthz answers 200 "ok". One accept thread handles
 // connections sequentially — scrape traffic is one poll every few seconds,
-// so a blocking single-threaded loop is the simplest correct design.
-// Stop() (and the destructor) shuts the listener down and joins the accept
-// thread; the serving hot path never blocks on the server.
+// so a blocking single-threaded loop is the simplest correct design. Each
+// accepted connection is served by a short-lived reader thread while the
+// accept thread enforces a slow-client deadline with CondVar::WaitFor; on
+// timeout it shuts the socket down, which unblocks the reader. Stop() (and
+// the destructor) shuts the listener down and joins the accept thread; the
+// serving hot path never blocks on the server.
 #ifndef MAMDR_SERVE_METRICS_SERVER_H_
 #define MAMDR_SERVE_METRICS_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -65,15 +70,24 @@ class MetricsServer {
   int port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Test hook: how long a connection may sit between reads before the
+  /// watchdog shuts it down. Call before Start(); the default (2s) is far
+  /// above any honest scraper's stall.
+  void set_slow_client_timeout_for_test(int64_t timeout_us) {
+    slow_client_timeout_us_ = timeout_us;
+  }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  void ServeRequest(int fd);
 
   obs::Registry* registry_;  // borrowed, never null after construction
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   int port_ = 0;
+  int64_t slow_client_timeout_us_ = 2'000'000;
   std::thread accept_thread_;
 };
 

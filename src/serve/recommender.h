@@ -139,7 +139,7 @@ class Recommender {
   obs::Histogram* batch_latency_;
 
   /// Writers serialize here; readers never touch it.
-  mutable Mutex setup_mu_;
+  mutable Mutex setup_mu_{MAMDR_LOCK_CLASS("serve.recommender.setup")};
   /// Current snapshot (acquire-load on every request; release-store on
   /// publish). Owned by retired_.
   mutable std::atomic<const Snapshot*> snapshot_;

@@ -12,10 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include "lockdep_guard.h"
 #include "obs/metrics.h"
 #include "ps/distributed_mamdr.h"
 #include "tensor/tensor_ops.h"
 #include "test_util.h"
+
+// Chaos runs double as the lockdep clean-run suite: in instrumented builds
+// every test in this binary must finish with zero lock-order violations.
+MAMDR_ASSERT_LOCKDEP_CLEAN();
 
 namespace mamdr {
 namespace ps {

@@ -1,0 +1,35 @@
+// Global test environment that fails the binary if lockdep recorded any
+// violation by the time the process exits — include (and instantiate via
+// MAMDR_ASSERT_LOCKDEP_CLEAN) in suites whose job is to drive the library's
+// locks hard, so "the chaos suite is lockdep-clean" is an asserted
+// property, not a hope. Because ctest runs each discovered test in its own
+// process, the check covers every test individually, not just the last one.
+//
+// In Release builds lockdep is compiled out, ViolationCount() is a
+// constant 0 and the environment is a no-op.
+#ifndef MAMDR_TESTS_LOCKDEP_GUARD_H_
+#define MAMDR_TESTS_LOCKDEP_GUARD_H_
+
+#include <gtest/gtest.h>
+
+#include "common/lockdep.h"
+
+namespace mamdr {
+
+class LockdepCleanEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    EXPECT_EQ(lockdep::ViolationCount(), 0u)
+        << "lockdep reported a violation during this suite; last report:\n"
+        << lockdep::LastReport();
+  }
+};
+
+#define MAMDR_ASSERT_LOCKDEP_CLEAN()                               \
+  static ::testing::Environment* const mamdr_lockdep_clean_env =   \
+      ::testing::AddGlobalTestEnvironment(                         \
+          new ::mamdr::LockdepCleanEnvironment)
+
+}  // namespace mamdr
+
+#endif  // MAMDR_TESTS_LOCKDEP_GUARD_H_

@@ -217,6 +217,40 @@ TEST(MetricsServerTest, StartTwiceFailsAndRestartWorks) {
   server.Stop();
 }
 
+TEST(MetricsServerTest, SlowClientIsShutDownAndServerStaysLive) {
+  obs::Registry reg;
+  MetricsServer server(&reg);
+  server.set_slow_client_timeout_for_test(/*timeout_us=*/50'000);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Connect, send half a request, then stall. The CondVar::WaitFor watchdog
+  // must shut the connection down after the timeout instead of wedging the
+  // accept loop.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const char partial[] = "GET /metr";  // no terminating \r\n\r\n, ever
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+
+  // The watchdog's shutdown() surfaces here as EOF (recv returns 0) or a
+  // reset — either way the blocking read finishes instead of hanging.
+  char buf[64];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  // The accept loop survived the slow client and serves the next request.
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200"),
+            std::string::npos);
+  server.Stop();
+}
+
 TEST(MetricsServerTest, RejectsBadPort) {
   obs::Registry reg;
   MetricsServer server(&reg);

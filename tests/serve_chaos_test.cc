@@ -19,9 +19,14 @@
 
 #include <gtest/gtest.h>
 
+#include "lockdep_guard.h"
 #include "models/registry.h"
 #include "serve/recommender.h"
 #include "test_util.h"
+
+// The serving carve-out is also the lockdep clean-run for serve/: every
+// test in this binary must finish with zero lock-order violations.
+MAMDR_ASSERT_LOCKDEP_CLEAN();
 
 namespace mamdr {
 namespace serve {

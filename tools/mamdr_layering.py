@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Static module-layering checker for the MAMDR tree.
+
+Enforces the include-level module DAG over ``src/``: every ``#include
+"other_module/..."`` directive must follow a declared dependency edge (or
+its transitive closure). The DAG is declared in MODULE_DEPS below and must
+match the link graph in src/CMakeLists.txt; back-edges and cycles are
+build-order bugs waiting to happen (and with static archives they hide
+until someone reorders the link line).
+
+What is checked, per C++ file under src/:
+
+  back-edge       an ``#include "m2/..."`` from module m1 where m2 is not
+                  in the transitive closure of MODULE_DEPS[m1]. The only
+                  escape is a per-edge entry in the checked-in allowlist
+                  (tools/layering_allowlist.txt) — there is deliberately no
+                  in-source allow comment, so every exception is reviewed
+                  at the tool level, not slipped into a diff.
+  unknown-module  a src/ subdirectory that MODULE_DEPS does not declare, or
+                  an include of one. New modules must be registered here
+                  (and in src/CMakeLists.txt) before code can include them.
+  dag-cycle       MODULE_DEPS itself contains a cycle. This guards edits to
+                  this file: the checker refuses to bless a cyclic "DAG".
+  stale-allow     an allowlist entry whose file no longer exists, no longer
+                  contains the include, or whose edge became legal. Stale
+                  entries are errors so the grandfathered set only shrinks.
+
+Allowlist format (tools/layering_allowlist.txt): one ``<file> <include>``
+pair per line, '#' comments and blank lines ignored. File paths are
+repo-relative with forward slashes; includes are the exact quoted path.
+
+Usage:
+  tools/mamdr_layering.py [--root DIR] [--allowlist FILE]
+
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+# Direct dependencies of each module under src/. Edges flow strictly
+# downward; the checker closes them transitively, so list only the
+# immediate layer below. Keep in sync with the target_link_libraries graph
+# in src/CMakeLists.txt — the ASCII diagram lives in docs/ARCHITECTURE.md
+# ("Concurrency analysis" section).
+MODULE_DEPS: Dict[str, Tuple[str, ...]] = {
+    "obs": (),  # bottom: std-only (grandfathered common/ header exceptions)
+    "common": ("obs",),
+    "tensor": ("common",),
+    "data": ("common",),
+    "autograd": ("tensor",),
+    "nn": ("autograd",),
+    "optim": ("autograd",),
+    "metrics": ("data", "tensor"),
+    "models": ("nn", "data"),
+    "core": ("models", "metrics", "optim"),
+    "checkpoint": ("core",),
+    "serve": ("models", "metrics"),
+    "ps": ("core", "checkpoint"),
+}
+
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative, forward slashes; '' = tree-level finding
+    line: int  # 1-based; 0 = whole file / tree
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        where = self.path if self.path else "tools/mamdr_layering.py"
+        return f"{where}:{self.line}: [{self.rule}] {self.message}"
+
+
+def transitive_closure(
+        deps: Dict[str, Tuple[str, ...]]) -> Dict[str, Set[str]]:
+    closure: Dict[str, Set[str]] = {}
+
+    def visit(mod: str, stack: Tuple[str, ...]) -> Set[str]:
+        if mod in closure:
+            return closure[mod]
+        if mod in stack:
+            cycle = stack[stack.index(mod):] + (mod,)
+            raise ValueError(" -> ".join(cycle))
+        reach: Set[str] = set()
+        for dep in deps.get(mod, ()):
+            reach.add(dep)
+            reach |= visit(dep, stack + (mod,))
+        closure[mod] = reach
+        return reach
+
+    for mod in deps:
+        visit(mod, ())
+    return closure
+
+
+def parse_allowlist(path: str) -> Tuple[List[Tuple[str, str]], List[Finding]]:
+    entries: List[Tuple[str, str]] = []
+    findings: List[Finding] = []
+    if not os.path.exists(path):
+        return entries, findings
+    with open(path, "r", encoding="utf-8") as f:
+        for i, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                findings.append(
+                    Finding(os.path.basename(path), i, "stale-allow",
+                            f"malformed allowlist line: {raw.strip()!r} "
+                            "(expected '<file> <include>')"))
+                continue
+            entries.append((parts[0], parts[1]))
+    return entries, findings
+
+
+def discover_sources(src_root: str) -> List[str]:
+    out: List[str] = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(CPP_EXTENSIONS):
+                rel = os.path.relpath(os.path.join(dirpath, name), src_root)
+                out.append(rel.replace(os.sep, "/"))
+    return sorted(out)
+
+
+def check_tree(root: str, allowlist_path: str) -> List[Finding]:
+    """Check src/ under `root`; returns all findings (empty = clean)."""
+    findings: List[Finding] = []
+
+    try:
+        closure = transitive_closure(MODULE_DEPS)
+    except ValueError as e:
+        return [Finding("", 0, "dag-cycle",
+                        f"MODULE_DEPS contains a cycle: {e}")]
+    for mod, deps in MODULE_DEPS.items():
+        for dep in deps:
+            if dep not in MODULE_DEPS:
+                findings.append(
+                    Finding("", 0, "unknown-module",
+                            f"MODULE_DEPS[{mod!r}] names undeclared "
+                            f"module {dep!r}"))
+
+    allow_entries, allow_findings = parse_allowlist(allowlist_path)
+    findings.extend(allow_findings)
+    allowed: Set[Tuple[str, str]] = set(allow_entries)
+    used_allows: Set[Tuple[str, str]] = set()
+
+    src_root = os.path.join(root, "src")
+    for rel in discover_sources(src_root):
+        mod = rel.split("/", 1)[0]
+        src_rel = "src/" + rel
+        if "/" not in rel:
+            continue  # file directly under src/ belongs to no module
+        if mod not in MODULE_DEPS:
+            findings.append(
+                Finding(src_rel, 0, "unknown-module",
+                        f"module '{mod}' is not declared in MODULE_DEPS"))
+            continue
+        full = os.path.join(src_root, rel)
+        try:
+            with open(full, "r", encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError as e:
+            findings.append(Finding(src_rel, 0, "io-error", str(e)))
+            continue
+        for i, line in enumerate(lines, start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            inc = m.group(1)
+            target = inc.split("/", 1)[0]
+            if target == mod or "/" not in inc:
+                continue
+            if not os.path.isdir(os.path.join(src_root, target)):
+                continue  # not a src/ module (e.g. gtest/gtest.h)
+            if target not in MODULE_DEPS:
+                findings.append(
+                    Finding(src_rel, i, "unknown-module",
+                            f"include of undeclared module '{target}'"))
+                continue
+            if target in closure[mod]:
+                continue
+            if (src_rel, inc) in allowed:
+                used_allows.add((src_rel, inc))
+                continue
+            findings.append(
+                Finding(src_rel, i, "back-edge",
+                        f"module '{mod}' may not include '{target}' "
+                        f"(declared deps: "
+                        f"{sorted(closure[mod]) or ['<none>']}); add the "
+                        "edge to MODULE_DEPS or the allowlist — both are "
+                        "reviewed changes"))
+
+    for entry in sorted(allowed - used_allows):
+        findings.append(
+            Finding(entry[0], 0, "stale-allow",
+                    f"allowlist entry for include {entry[1]!r} is unused; "
+                    "delete it from tools/layering_allowlist.txt"))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "tools/layering_allowlist.txt under root)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"mamdr_layering: no src/ under root: {root}", file=sys.stderr)
+        return 2
+    allowlist = args.allowlist or os.path.join(root, "tools",
+                                               "layering_allowlist.txt")
+
+    findings = check_tree(root, allowlist)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"mamdr_layering: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("mamdr_layering: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

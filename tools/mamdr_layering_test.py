@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mamdr_layering.py.
+
+The core fixture builds a throwaway src/ tree in a temp directory, injects
+include edges, and asserts the checker's verdict — including the required
+negative test: an injected back-edge must fail the run.
+
+Run directly (``python3 tools/mamdr_layering_test.py``) or via ctest.
+"""
+
+import contextlib
+import os
+import sys
+import tempfile
+import unittest
+
+import mamdr_layering
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+@contextlib.contextmanager
+def module_deps(deps):
+    """Temporarily replace the declared DAG for a synthetic tree."""
+    saved = mamdr_layering.MODULE_DEPS
+    mamdr_layering.MODULE_DEPS = deps
+    try:
+        yield
+    finally:
+        mamdr_layering.MODULE_DEPS = saved
+
+
+class TempTree:
+    """Materialize {relpath: content} under a temp root and check it."""
+
+    def __init__(self, files, allowlist=None):
+        self.files = files
+        self.allowlist = allowlist
+
+    def check(self):
+        with tempfile.TemporaryDirectory() as root:
+            for rel, content in self.files.items():
+                full = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(full), exist_ok=True)
+                with open(full, "w", encoding="utf-8") as f:
+                    f.write(content)
+            allow = os.path.join(root, "allow.txt")
+            if self.allowlist is not None:
+                with open(allow, "w", encoding="utf-8") as f:
+                    f.write(self.allowlist)
+            return mamdr_layering.check_tree(root, allow)
+
+
+TWO_LAYERS = {"lo": (), "hi": ("lo",)}
+THREE_LAYERS = {"lo": (), "mid": ("lo",), "hi": ("mid",)}
+
+
+class BackEdgeRule(unittest.TestCase):
+    def test_downward_include_is_fine(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree({
+                "src/lo/a.h": "int a;\n",
+                "src/hi/b.cc": '#include "lo/a.h"\n',
+            }).check()
+        self.assertEqual(rules(findings), [])
+
+    def test_injected_back_edge_fails(self):
+        # The acceptance-criteria negative test: an upward include from the
+        # bottom layer into the top one must fail the run.
+        with module_deps(TWO_LAYERS):
+            findings = TempTree({
+                "src/hi/b.h": "int b;\n",
+                "src/lo/a.cc": '#include "hi/b.h"\n',
+            }).check()
+        self.assertEqual(rules(findings), ["back-edge"])
+        self.assertEqual(findings[0].path, "src/lo/a.cc")
+        self.assertEqual(findings[0].line, 1)
+
+    def test_sibling_edge_fails(self):
+        deps = {"lo": (), "left": ("lo",), "right": ("lo",)}
+        with module_deps(deps):
+            findings = TempTree({
+                "src/lo/a.h": "int a;\n",
+                "src/left/l.h": "int l;\n",
+                "src/right/r.cc": '#include "left/l.h"\n',
+            }).check()
+        self.assertEqual(rules(findings), ["back-edge"])
+
+    def test_transitive_dep_is_fine(self):
+        # hi -> mid -> lo is declared; hi including lo directly rides the
+        # transitive closure.
+        with module_deps(THREE_LAYERS):
+            findings = TempTree({
+                "src/lo/a.h": "int a;\n",
+                "src/hi/c.cc": '#include "lo/a.h"\n',
+            }).check()
+        self.assertEqual(rules(findings), [])
+
+    def test_intra_module_and_system_includes_ignored(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree({
+                "src/lo/a.h": "int a;\n",
+                "src/lo/b.cc": ('#include "lo/a.h"\n'
+                                "#include <vector>\n"
+                                '#include "gtest/gtest.h"\n'),
+            }).check()
+        self.assertEqual(rules(findings), [])
+
+
+class AllowlistHandling(unittest.TestCase):
+    BACK_EDGE_TREE = {
+        "src/hi/b.h": "int b;\n",
+        "src/lo/a.cc": '#include "hi/b.h"\n',
+    }
+
+    def test_allowlisted_back_edge_passes(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree(
+                self.BACK_EDGE_TREE,
+                allowlist="# grandfathered\nsrc/lo/a.cc hi/b.h\n").check()
+        self.assertEqual(rules(findings), [])
+
+    def test_allowlist_is_per_file(self):
+        # Blessing one file's edge must not bless the same include from a
+        # different file.
+        tree = dict(self.BACK_EDGE_TREE)
+        tree["src/lo/c.cc"] = '#include "hi/b.h"\n'
+        with module_deps(TWO_LAYERS):
+            findings = TempTree(
+                tree, allowlist="src/lo/a.cc hi/b.h\n").check()
+        self.assertEqual(rules(findings), ["back-edge"])
+        self.assertEqual(findings[0].path, "src/lo/c.cc")
+
+    def test_stale_entry_flagged(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree(
+                {"src/lo/a.cc": "int a;\n"},
+                allowlist="src/lo/a.cc hi/b.h\n").check()
+        self.assertEqual(rules(findings), ["stale-allow"])
+
+    def test_malformed_line_flagged(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree(
+                {"src/lo/a.cc": "int a;\n"},
+                allowlist="src/lo/a.cc\n").check()
+        self.assertEqual(rules(findings), ["stale-allow"])
+
+    def test_comments_and_blanks_ignored(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree(
+                {"src/lo/a.cc": "int a;\n"},
+                allowlist="# a comment\n\n").check()
+        self.assertEqual(rules(findings), [])
+
+
+class UnknownModuleRule(unittest.TestCase):
+    def test_undeclared_directory_flagged(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree({
+                "src/mystery/a.cc": "int a;\n",
+            }).check()
+        self.assertEqual(rules(findings), ["unknown-module"])
+
+    def test_undeclared_dep_in_dag_flagged(self):
+        with module_deps({"lo": ("ghost",)}):
+            findings = TempTree({"src/lo/a.cc": "int a;\n"}).check()
+        self.assertEqual(rules(findings), ["unknown-module"])
+
+    def test_include_of_undeclared_module_flagged(self):
+        with module_deps(TWO_LAYERS):
+            findings = TempTree({
+                "src/mystery/m.h": "int m;\n",
+                "src/hi/b.cc": '#include "mystery/m.h"\n',
+            }).check()
+        self.assertIn("unknown-module", rules(findings))
+
+
+class DagCycleRule(unittest.TestCase):
+    def test_cyclic_dag_is_refused(self):
+        with module_deps({"a": ("b",), "b": ("a",)}):
+            findings = TempTree({"src/a/x.cc": "int x;\n"}).check()
+        self.assertEqual(rules(findings), ["dag-cycle"])
+
+    def test_closure_of_acyclic_dag(self):
+        closure = mamdr_layering.transitive_closure(THREE_LAYERS)
+        self.assertEqual(closure["hi"], {"mid", "lo"})
+        self.assertEqual(closure["lo"], set())
+
+
+class TreeIntegration(unittest.TestCase):
+    def _repo_root(self):
+        return os.path.dirname(
+            os.path.dirname(os.path.abspath(mamdr_layering.__file__)))
+
+    def test_repository_is_clean(self):
+        root = self._repo_root()
+        allow = os.path.join(root, "tools", "layering_allowlist.txt")
+        findings = mamdr_layering.check_tree(root, allow)
+        self.assertEqual([f.render() for f in findings], [])
+
+    def test_declared_dag_matches_link_graph(self):
+        # Every module with sources under src/ must be declared, and every
+        # declared module must exist on disk — MODULE_DEPS and the tree may
+        # not drift apart.
+        root = self._repo_root()
+        src = os.path.join(root, "src")
+        on_disk = {
+            d for d in os.listdir(src)
+            if os.path.isdir(os.path.join(src, d))
+        }
+        self.assertEqual(on_disk, set(mamdr_layering.MODULE_DEPS))
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -27,10 +27,20 @@ the offending line):
                   has a single clock to reason about and instrumentation is
                   greppable in one place. Unlike the other rules the allow
                   comment is honored ONLY in the files listed in
-                  RAW_CLOCK_COMMENT_ALLOWED (currently just the metrics
-                  server, whose slow-client deadline is genuine time_point
-                  arithmetic, not a measurement); everywhere else the rule
-                  is absolute.
+                  RAW_CLOCK_COMMENT_ALLOWED (currently empty — the last
+                  exception, the metrics server's slow-client deadline,
+                  became a CondVar::WaitFor timed wait); everywhere else
+                  the rule is absolute.
+  native-mutex    ``std::mutex`` / ``std::lock_guard`` / ``std::unique_lock``
+                  (or any other <mutex>/<condition_variable> primitive)
+                  outside common/mutex.h. All locking flows through the
+                  annotated mamdr::Mutex/MutexLock/CondVar wrappers so
+                  clang -Wthread-safety sees every acquisition and the
+                  runtime lockdep validator (common/lockdep.h) sees every
+                  lock in its order graph — a raw std::mutex is invisible
+                  to both. The lockdep implementation itself must not
+                  recurse into its own instrumentation and carries the
+                  allow comment.
   hot-path-lock   a ``MutexLock`` acquisition in a file that carries the
                   ``// mamdr-lint: hot-path`` marker comment. Marked files
                   hold steady-state request code whose scaling contract is
@@ -87,8 +97,18 @@ RAW_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
 # The only files where `// mamdr-lint: allow(raw-clock)` works. Raw clock
 # reads fragment the timing funnel, so an allow comment alone is not enough
 # — the file itself must be on this list (i.e. the exception was reviewed
-# at the linter level, not slipped into a diff).
-RAW_CLOCK_COMMENT_ALLOWED = ("src/serve/metrics_server.cc",)
+# at the linter level, not slipped into a diff). Currently empty: the
+# mechanism stays so the next genuine exception is a one-line reviewed
+# change here instead of a new rule carve-out.
+RAW_CLOCK_COMMENT_ALLOWED = ()
+# Raw standard-library locking primitives. Everything in <mutex> and
+# <condition_variable> that code would name directly; common/mutex.h is
+# exempt (it wraps these), everyone else goes through mamdr::Mutex.
+NATIVE_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd\s*::\s*condition_variable(?:_any)?\b")
+NATIVE_MUTEX_EXEMPT = ("src/common/mutex.h",)
 # Opt-in marker: a file containing this comment declares its steady-state
 # code lock-free; every MutexLock in it must justify itself with an allow.
 HOT_PATH_MARKER_RE = re.compile(r"//\s*mamdr-lint:\s*hot-path\b")
@@ -202,6 +222,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
     clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
     clock_comment_ok = rel_path in RAW_CLOCK_COMMENT_ALLOWED
+    mutex_wrapper_file = rel_path in NATIVE_MUTEX_EXEMPT
     hot_path_file = HOT_PATH_MARKER_RE.search(text) is not None
 
     for i, raw_line in enumerate(lines, start=1):
@@ -239,6 +260,13 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "raw-clock",
                             "read time via obs::MonotonicMicros()/"
                             "MonotonicSeconds(), not steady_clock::now()"))
+        if not mutex_wrapper_file and "native-mutex" not in allowed:
+            if NATIVE_MUTEX_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "native-mutex",
+                            "raw std locking primitive is invisible to "
+                            "-Wthread-safety and lockdep; use mamdr::Mutex/"
+                            "MutexLock/CondVar from common/mutex.h"))
         if hot_path_file and "hot-path-lock" not in allowed:
             if MUTEX_LOCK_RE.search(line):
                 findings.append(

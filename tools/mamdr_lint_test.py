@@ -150,18 +150,12 @@ class RawClockRule(unittest.TestCase):
             "// wraps steady_clock::now() behind obs::MonotonicMicros\n")
         self.assertEqual(rules(findings), [])
 
-    def test_allow_comment_honored_only_in_metrics_server(self):
-        findings = mamdr_lint.lint_text(
-            "src/serve/metrics_server.cc",
-            "  auto t = std::chrono::steady_clock::now();"
-            "  // mamdr-lint: allow(raw-clock)\n")
-        self.assertEqual(rules(findings), [])
-
-    def test_allow_comment_rejected_elsewhere(self):
-        # The raw-clock allow comment only works in the files on
-        # RAW_CLOCK_COMMENT_ALLOWED; a suppression in any other file —
-        # even in src/serve next to the blessed one — still flags.
-        for path in ("src/ps/fault_injector.cc", "src/serve/recommender.cc",
+    def test_allow_comment_rejected_everywhere(self):
+        # RAW_CLOCK_COMMENT_ALLOWED is empty since the metrics server's
+        # deadline became a CondVar::WaitFor: the allow comment works
+        # nowhere, including the formerly blessed file.
+        for path in ("src/serve/metrics_server.cc",
+                     "src/ps/fault_injector.cc", "src/serve/recommender.cc",
                      "tests/serve_test.cc"):
             findings = mamdr_lint.lint_text(
                 path,
@@ -169,16 +163,76 @@ class RawClockRule(unittest.TestCase):
                 "  // mamdr-lint: allow(raw-clock)\n")
             self.assertEqual(rules(findings), ["raw-clock"], path)
 
-    def test_metrics_server_without_comment_still_flags(self):
-        findings = mamdr_lint.lint_text(
-            "src/serve/metrics_server.cc",
-            "  auto t = std::chrono::steady_clock::now();\n")
-        self.assertEqual(rules(findings), ["raw-clock"])
-
     def test_other_clocks_not_flagged(self):
         findings = mamdr_lint.lint_text(
             "src/core/framework.cc",
             "  auto t = std::chrono::system_clock::now();\n")
+        self.assertEqual(rules(findings), [])
+
+
+class NativeMutexRule(unittest.TestCase):
+    def test_flags_std_mutex_member(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/batched_scorer.h",
+            "#ifndef MAMDR_SERVE_BATCHED_SCORER_H_\n"
+            "#define MAMDR_SERVE_BATCHED_SCORER_H_\n"
+            "  std::mutex mu_;\n"
+            "#endif  // MAMDR_SERVE_BATCHED_SCORER_H_\n")
+        self.assertEqual(rules(findings), ["native-mutex"])
+        self.assertEqual(findings[0].line, 3)
+
+    def test_flags_lock_guard_and_unique_lock(self):
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            "  std::lock_guard<std::mutex> a(m);\n"
+            "  std::unique_lock<std::mutex> b(m);\n")
+        self.assertEqual(rules(findings), ["native-mutex", "native-mutex"])
+
+    def test_flags_condition_variable_and_variants(self):
+        for decl in ("std::condition_variable cv;",
+                     "std::condition_variable_any cv;",
+                     "std::shared_mutex sm;",
+                     "std::recursive_mutex rm;",
+                     "std::scoped_lock l(m);"):
+            findings = mamdr_lint.lint_text(
+                "src/ps/worker.cc", f"  {decl}\n")
+            self.assertEqual(rules(findings), ["native-mutex"], decl)
+
+    def test_wrapper_header_exempt(self):
+        findings = mamdr_lint.lint_text(
+            "src/common/mutex.h",
+            "#ifndef MAMDR_COMMON_MUTEX_H_\n"
+            "#define MAMDR_COMMON_MUTEX_H_\n"
+            "  std::mutex mu_;\n"
+            "  std::condition_variable cv_;\n"
+            "#endif  // MAMDR_COMMON_MUTEX_H_\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "src/common/lockdep.cc",
+            "  std::mutex mu;"
+            "  // mamdr-lint: allow(native-mutex) lockdep internals\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_tests_and_bench_also_covered(self):
+        # Unlike raw-rand, the rule has no tools/bench exemption: a raw
+        # mutex in a test deadlocks just as invisibly.
+        for path in ("tests/foo_test.cc", "bench/bench_engine.cpp",
+                     "tools/mamdr_run.cc"):
+            findings = mamdr_lint.lint_text(path, "  std::mutex m;\n")
+            self.assertEqual(rules(findings), ["native-mutex"], path)
+
+    def test_comment_mention_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            "// replaced the std::mutex with mamdr::Mutex\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_mamdr_wrappers_are_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/serve/recommender.cc",
+            "  Mutex mu;\n  MutexLock lock(&mu);\n  CondVar cv;\n")
         self.assertEqual(rules(findings), [])
 
 
