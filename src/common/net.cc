@@ -1,0 +1,306 @@
+#include "common/net.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/lockdep.h"
+#include "common/mutex.h"
+
+namespace mamdr {
+namespace net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  if (fd < 0) return Status::Internal("net::SendAll: bad fd");
+  lockdep::AssertNoLocksHeld("net.send");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, p + sent, size - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("net::SendAll: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t size) {
+  if (fd < 0) return Status::Internal("net::RecvAll: bad fd");
+  lockdep::AssertNoLocksHeld("net.recv");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("net::RecvAll: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("net::RecvAll: connection closed after " +
+                                 std::to_string(got) + " of " +
+                                 std::to_string(size) + " bytes (truncated)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t cap) {
+  if (fd < 0) return Status::Internal("net::RecvSome: bad fd");
+  lockdep::AssertNoLocksHeld("net.recv");
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("net::RecvSome: ") +
+                                 std::strerror(errno));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status Listener::Bind(int port) {
+  if (fd_.valid()) {
+    return Status::FailedPrecondition("net::Listener: already bound");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("net::Listener: bad port " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                            "): " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(std::string("listen(): ") + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(std::string("getsockname(): ") + err);
+  }
+  fd_.reset(fd);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return Status::OK();
+}
+
+Result<int> Listener::PollAccept(int timeout_ms) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("net::Listener: not bound");
+  }
+  pollfd pfd{};
+  pfd.fd = fd_.get();
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0 && errno != EINTR) {
+    return Status::Internal(std::string("poll(): ") + std::strerror(errno));
+  }
+  if (rc <= 0) return -1;  // timeout (or EINTR): caller re-polls
+  const int fd = ::accept(pfd.fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return -1;
+    return Status::Internal(std::string("accept(): ") + std::strerror(errno));
+  }
+  return fd;
+}
+
+void Listener::Close() {
+  fd_.reset();
+  port_ = 0;
+}
+
+Result<int> ConnectLoopback(int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::Unavailable("net::ConnectLoopback: no endpoint (port " +
+                               std::to_string(port) + ")");
+  }
+  lockdep::AssertNoLocksHeld("net.connect");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  // RPC frames are small and latency-bound: never Nagle-delay them.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect(127.0.0.1:" + std::to_string(port) +
+                               "): " + err);
+  }
+  return fd;
+}
+
+bool RunWithStallGuard(int64_t stall_timeout_us,
+                       const std::function<void()>& op,
+                       const std::function<void()>& on_stall) {
+  lockdep::AssertNoLocksHeld("net.stall_guard");
+  Mutex mu{MAMDR_LOCK_CLASS("common.net.stall_guard")};
+  CondVar cv;
+  bool done = false;
+  std::thread worker([&] {
+    op();
+    MutexLock lock(&mu);
+    done = true;
+    cv.NotifyAll();
+  });
+  bool stalled = false;
+  {
+    MutexLock lock(&mu);
+    while (!done) {
+      if (!cv.WaitFor(&mu, stall_timeout_us)) {
+        // Timed out: fire the stall action (typically ShutdownFd, which
+        // unblocks the worker's recv/send), then wait for the worker to
+        // acknowledge so its fd is not closed under its feet.
+        stalled = true;
+        on_stall();
+        while (!done) cv.Wait(&mu);
+      }
+    }
+  }
+  worker.join();
+  return !stalled;
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameOverhead);
+  PutU32(&out, kFrameMagic);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+namespace {
+
+/// Shared validation for ReadFrame/DecodeFrame once header bytes are in
+/// hand. Returns the payload length or the error both entry points agree
+/// on.
+Result<uint32_t> CheckHeader(const char* header, size_t max_payload) {
+  const uint32_t magic = GetU32(header);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("net frame: bad magic");
+  }
+  const uint32_t len = GetU32(header + 4);
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        "net frame: payload length " + std::to_string(len) +
+        " exceeds limit " + std::to_string(max_payload));
+  }
+  return len;
+}
+
+Status CheckCrc(const std::string& payload, uint32_t wire_crc) {
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  if (crc != wire_crc) {
+    return Status::InvalidArgument("net frame: CRC mismatch (corrupted)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  const std::string framed = EncodeFrame(payload);
+  return SendAll(fd, framed.data(), framed.size());
+}
+
+Result<std::string> ReadFrame(int fd, size_t max_payload) {
+  char header[8];
+  MAMDR_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header)));
+  MAMDR_ASSIGN_OR_RETURN(const uint32_t len,
+                         CheckHeader(header, max_payload));
+  std::string payload(len, '\0');
+  if (len > 0) MAMDR_RETURN_IF_ERROR(RecvAll(fd, payload.data(), len));
+  char footer[4];
+  MAMDR_RETURN_IF_ERROR(RecvAll(fd, footer, sizeof(footer)));
+  MAMDR_RETURN_IF_ERROR(CheckCrc(payload, GetU32(footer)));
+  return payload;
+}
+
+Result<std::string> DecodeFrame(const std::string& buf, size_t max_payload) {
+  if (buf.size() < 8) {
+    return Status::Unavailable("net frame: truncated header (" +
+                               std::to_string(buf.size()) + " bytes)");
+  }
+  MAMDR_ASSIGN_OR_RETURN(const uint32_t len,
+                         CheckHeader(buf.data(), max_payload));
+  if (buf.size() < 8 + static_cast<size_t>(len) + 4) {
+    return Status::Unavailable("net frame: truncated body (" +
+                               std::to_string(buf.size()) + " of " +
+                               std::to_string(8 + len + 4) + " bytes)");
+  }
+  std::string payload = buf.substr(8, len);
+  MAMDR_RETURN_IF_ERROR(CheckCrc(payload, GetU32(buf.data() + 8 + len)));
+  return payload;
+}
+
+}  // namespace net
+}  // namespace mamdr

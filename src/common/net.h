@@ -1,0 +1,155 @@
+// Dependency-free POSIX TCP machinery shared by every networked endpoint.
+//
+// Extracted from serve/metrics_server so the sharded parameter server
+// (ps/net) and the metrics endpoint run on one reviewed implementation of
+// the fiddly parts: EINTR-safe send/recv loops, a loopback listener with a
+// stoppable poll-accept loop, a per-connection stall guard built on
+// CondVar::WaitFor (no raw clock arithmetic), and a length-prefixed,
+// CRC32-footed frame codec (common/crc32) that converts every torn or
+// bit-flipped message into a clean Status instead of deserialized garbage.
+//
+// The mamdr_lint `raw-socket` rule bans direct ::socket()/::connect()/...
+// calls outside common/net.cc, so every byte that leaves the process goes
+// through these helpers — which is what makes the network fault proxy
+// (ps/net/fault_proxy) a faithful model: it injects at the same frame
+// boundary all real traffic crosses.
+//
+// Error mapping contract (relied on by the ps/net wire-format tests):
+//   * peer closed / reset / cut mid-frame  -> kUnavailable (retryable)
+//   * bad magic, oversize length, CRC mismatch -> kInvalidArgument
+//   * local programming errors (bad fd)    -> kInternal
+#ifndef MAMDR_COMMON_NET_H_
+#define MAMDR_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace mamdr {
+namespace net {
+
+/// RAII file descriptor: closes on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Close the current fd (if any) and adopt `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Send exactly `size` bytes (EINTR-safe, SIGPIPE-suppressed). A peer that
+/// closed or reset the connection yields kUnavailable.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Receive exactly `size` bytes. EOF or an error before `size` bytes have
+/// arrived yields kUnavailable ("truncated"), the signature of a connection
+/// cut mid-message.
+Status RecvAll(int fd, void* data, size_t size);
+
+/// One recv() of at most `cap` bytes (EINTR-safe), for delimiter-terminated
+/// protocols (the HTTP metrics endpoint). Returns the byte count — 0 means
+/// orderly EOF; a connection error yields kUnavailable.
+Result<size_t> RecvSome(int fd, void* buf, size_t cap);
+
+/// shutdown(fd, SHUT_RDWR): forces any thread blocked in recv()/send() on
+/// this fd to return. The watchdog half of every stall guard.
+void ShutdownFd(int fd);
+
+/// Loopback TCP listener with a stoppable poll-accept loop.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listen.
+  Status Bind(int port);
+
+  /// Wait up to `timeout_ms` for a connection. Returns the accepted fd;
+  /// -1 on timeout or a transient accept failure (EINTR, ECONNABORTED) —
+  /// the caller's loop just re-polls, which is where it checks its stop
+  /// flag; a non-OK Status means the listener itself is broken.
+  Result<int> PollAccept(int timeout_ms);
+
+  /// Close the listening socket. Idempotent.
+  void Close();
+
+  /// The bound port (resolved when Bind(0) was used); 0 when not bound.
+  int port() const { return port_; }
+  bool bound() const { return fd_.valid(); }
+
+ private:
+  ScopedFd fd_;
+  int port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:`port`. Refused / unreachable connections
+/// yield kUnavailable (the retry layer's cue).
+Result<int> ConnectLoopback(int port);
+
+/// Run `op` on a worker thread while the calling thread stands watchdog:
+/// if `op` has not finished after `stall_timeout_us` of waiting (a timed
+/// CondVar::WaitFor — no deadline arithmetic, no raw clock reads),
+/// `on_stall` is invoked exactly once from the watchdog thread — typically
+/// ShutdownFd on the socket `op` is blocked on — and the call keeps
+/// waiting for `op` to acknowledge. Returns true when `op` finished
+/// without the guard firing. (A spurious wakeup restarts the full budget;
+/// that only ever extends the deadline for a peer that is still making
+/// progress.)
+bool RunWithStallGuard(int64_t stall_timeout_us,
+                       const std::function<void()>& op,
+                       const std::function<void()>& on_stall);
+
+// --- Frame codec ----------------------------------------------------------
+//
+// Wire layout (all little-endian):
+//   u32 magic 'MFRM'  |  u32 payload_len  |  payload  |  u32 crc32(payload)
+
+inline constexpr uint32_t kFrameMagic = 0x4D52464Du;  // "MFRM" LE
+/// Fixed bytes around the payload: 8-byte header + 4-byte CRC footer.
+inline constexpr size_t kFrameOverhead = 12;
+
+/// Frame `payload` and send it.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Read one frame and return its payload. `max_payload` bounds the length
+/// field before any allocation (an attacker-controlled or corrupted length
+/// must not OOM the server). Truncation -> kUnavailable; bad magic,
+/// oversize length, or CRC mismatch -> kInvalidArgument.
+Result<std::string> ReadFrame(int fd, size_t max_payload);
+
+/// Pure-buffer encoder/decoder for the same layout, so the wire-format
+/// corruption matrix can run without sockets. DecodeFrame consumes exactly
+/// one frame from `buf` and fails exactly like ReadFrame (a short buffer is
+/// kUnavailable, matching a cut connection).
+std::string EncodeFrame(const std::string& payload);
+Result<std::string> DecodeFrame(const std::string& buf, size_t max_payload);
+
+}  // namespace net
+}  // namespace mamdr
+
+#endif  // MAMDR_COMMON_NET_H_

@@ -92,11 +92,15 @@ DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
     wc.retry = config_.retry;
     RowExtractor wx = MakeDefaultRowExtractor(m.value().get(), model_config,
                                               nullptr);
-    // Client stack: DirectPsClient, optionally decorated with a per-worker
-    // FaultInjector whose seed mixes the plan seed with the worker id so
-    // every worker sees an independent, reproducible fault stream.
+    // Client stack: the configured backend (DirectPsClient in-process, or
+    // whatever the factory mints — e.g. NetPsClient), optionally decorated
+    // with a per-worker FaultInjector whose seed mixes the plan seed with
+    // the worker id so every worker sees an independent, reproducible
+    // fault stream.
     std::unique_ptr<PsClient> client =
-        std::make_unique<DirectPsClient>(server_.get());
+        config_.ps_client_factory
+            ? config_.ps_client_factory(w)
+            : std::make_unique<DirectPsClient>(server_.get());
     FaultInjector* inj = nullptr;
     if (config_.fault_plan.enabled) {
       FaultConfig fc = config_.fault_plan.faults;
@@ -110,6 +114,9 @@ DistributedMamdr::DistributedMamdr(const models::ModelConfig& model_config,
                                                 std::move(client), dataset_,
                                                 wc, std::move(wx)));
   }
+  admin_client_ = config_.ps_client_factory
+                      ? config_.ps_client_factory(-1)
+                      : std::make_unique<DirectPsClient>(server_.get());
   const int64_t auto_threads = std::max<int64_t>(
       1, std::min<int64_t>(
              config_.num_workers,
@@ -280,7 +287,7 @@ Status DistributedMamdr::SaveCheckpoint(int64_t completed_epochs) {
   std::vector<std::pair<std::string, Tensor>> named;
   named.emplace_back("epoch",
                      Tensor({1}, static_cast<float>(completed_epochs)));
-  const auto snapshot = server_->SnapshotAll();
+  MAMDR_ASSIGN_OR_RETURN(const auto snapshot, admin_client_->Snapshot());
   for (size_t i = 0; i < snapshot.size(); ++i) {
     named.emplace_back("param/" + std::to_string(i), snapshot[i]);
   }
@@ -303,23 +310,24 @@ Result<int64_t> DistributedMamdr::RestoreFromCheckpoint() {
   }
 
   // Validate the whole layout before touching the PS: restore is
-  // all-or-nothing.
-  std::vector<Tensor> current = server_->SnapshotAll();
+  // all-or-nothing. The reference replica defines the layout, so this
+  // works identically against the in-process and networked backends.
+  const std::vector<Tensor> layout = optim::Snapshot(reference_params_);
   std::vector<Tensor> restored;
-  restored.reserve(current.size());
-  for (size_t i = 0; i < current.size(); ++i) {
+  restored.reserve(layout.size());
+  for (size_t i = 0; i < layout.size(); ++i) {
     auto it = by_name.find("param/" + std::to_string(i));
     if (it == by_name.end()) {
       return Status::InvalidArgument("checkpoint missing param/" +
                                      std::to_string(i));
     }
-    if (it->second->shape() != current[i].shape()) {
+    if (it->second->shape() != layout[i].shape()) {
       return Status::InvalidArgument("checkpoint shape mismatch for param/" +
                                      std::to_string(i));
     }
     restored.push_back(*it->second);
   }
-  server_->RestoreAll(restored);
+  MAMDR_RETURN_IF_ERROR(admin_client_->Restore(restored));
   recovery_counters().checkpoint_restores->Add();
   return epoch;
 }
@@ -328,7 +336,9 @@ std::vector<double> DistributedMamdr::EvaluateTest() {
   std::vector<double> out;
   out.reserve(static_cast<size_t>(dataset_->num_domains()));
   // Without DR: score with the PS parameters through the reference replica.
-  optim::Restore(reference_params_, server_->SnapshotAll());
+  auto snapshot = admin_client_->Snapshot();
+  MAMDR_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  optim::Restore(reference_params_, snapshot.value());
   for (int64_t d = 0; d < dataset_->num_domains(); ++d) {
     data::Batch batch = data::Batcher::All(dataset_->domain(d).test);
     std::vector<float> scores;

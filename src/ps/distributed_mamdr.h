@@ -14,6 +14,7 @@
 #ifndef MAMDR_PS_DISTRIBUTED_MAMDR_H_
 #define MAMDR_PS_DISTRIBUTED_MAMDR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,15 @@ struct DistributedConfig {
   /// from the checkpoint when one is present.
   std::string checkpoint_dir;
   int64_t checkpoint_every = 1;
+  /// Backend seam. When set, every PsClient comes from this factory —
+  /// called once per worker with its id, and once with -1 for the admin
+  /// client that checkpoint save/restore and evaluation go through — e.g.
+  /// NetPsClient instances against a ShardGroup (ps/net). When empty, the
+  /// in-process DirectPsClient against the local ParameterServer. The
+  /// fault-plan decoration wraps whatever the factory returns, so the
+  /// chaos schedules compose with either backend.
+  std::function<std::unique_ptr<PsClient>(int64_t worker_id)>
+      ps_client_factory;
 };
 
 class DistributedMamdr {
@@ -139,6 +149,9 @@ class DistributedMamdr {
   std::unique_ptr<models::CtrModel> reference_model_;
   std::vector<autograd::Var> reference_params_;
   std::unique_ptr<ParameterServer> server_;
+  /// Checkpoint/eval path to the parameter state; DirectPsClient or a
+  /// factory-minted client, matching the workers' backend.
+  std::unique_ptr<PsClient> admin_client_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<FaultInjector*> injectors_;  // parallel to workers_; may be null
   std::vector<int64_t> owner_;  // domain -> worker id

@@ -171,5 +171,15 @@ Result<std::vector<Tensor>> FaultInjector::Snapshot() {
   return inner_->Snapshot();
 }
 
+Status FaultInjector::Restore(const std::vector<Tensor>& params) {
+  // Not a push: a silently dropped restore would desync resume state, so
+  // the drop draw is never honored — restore either fails loudly
+  // (crash/unavailable) or applies.
+  const Decision d = Enter(/*is_push=*/false);
+  if (d.crash) return CrashStatus();
+  if (d.unavailable) return UnavailableStatus();
+  return inner_->Restore(params);
+}
+
 }  // namespace ps
 }  // namespace mamdr

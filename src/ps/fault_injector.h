@@ -83,6 +83,7 @@ class FaultInjector : public PsClient {
   Status PushRowDeltas(int64_t idx, const std::vector<int64_t>& rows,
                        const Tensor& delta, float beta) override;
   Result<std::vector<Tensor>> Snapshot() override;
+  Status Restore(const std::vector<Tensor>& params) override;
 
  private:
   /// Shared per-op gate. Draws (unavailable, drop, latency) in a fixed

@@ -1,0 +1,185 @@
+#include "ps/net/fault_proxy.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+#include "common/lockdep.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+namespace cnet = ::mamdr::net;
+
+namespace {
+
+uint32_t GetU32Le(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+FaultProxy::FaultProxy(FaultProxyConfig config,
+                       std::function<int()> target_port)
+    : config_(config), target_port_(std::move(target_port)), rng_(config.seed) {
+  MAMDR_CHECK(target_port_ != nullptr);
+}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+Status FaultProxy::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fault proxy already running");
+  }
+  MAMDR_RETURN_IF_ERROR(listener_.Bind(0));
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FaultProxy::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+FaultProxyStats FaultProxy::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void FaultProxy::AcceptLoop() {
+  for (;;) {
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (accepted.ok() && accepted.value() >= 0) {
+        cnet::ScopedFd drop(accepted.value());
+      }
+      return;
+    }
+    if (!accepted.ok()) return;
+    if (accepted.value() < 0) continue;
+    cnet::ScopedFd fd(accepted.value());
+    HandleConnection(fd.get());
+  }
+}
+
+Result<std::string> FaultProxy::ReadRawFrame(int fd) {
+  std::string frame(cnet::kFrameOverhead - 4, '\0');  // magic + length
+  MAMDR_RETURN_IF_ERROR(cnet::RecvAll(fd, frame.data(), frame.size()));
+  if (GetU32Le(frame.data()) != cnet::kFrameMagic) {
+    return Status::InvalidArgument("proxy: bad frame magic");
+  }
+  const uint32_t len = GetU32Le(frame.data() + 4);
+  if (len > config_.max_frame_bytes) {
+    return Status::InvalidArgument("proxy: oversize frame");
+  }
+  const size_t head = frame.size();
+  frame.resize(head + len + 4);  // payload + CRC footer
+  MAMDR_RETURN_IF_ERROR(cnet::RecvAll(fd, frame.data() + head, len + 4));
+  return frame;
+}
+
+void FaultProxy::HandleConnection(int client_fd) {
+  // Fixed draw order per connection: the damage schedule is a pure function
+  // of (seed, connection sequence number), independent of timing.
+  bool refuse, cut_req, corrupt_req, cut_resp, corrupt_resp, delay;
+  uint64_t mangle_draw;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.connections;
+    refuse = rng_.Bernoulli(config_.refuse_prob);
+    cut_req = rng_.Bernoulli(config_.cut_request_prob);
+    corrupt_req = rng_.Bernoulli(config_.corrupt_request_prob);
+    cut_resp = rng_.Bernoulli(config_.cut_response_prob);
+    corrupt_resp = rng_.Bernoulli(config_.corrupt_response_prob);
+    delay = rng_.Bernoulli(config_.latency_prob);
+    mangle_draw = rng_.NextU64();  // byte position for cuts/flips
+    if (refuse) ++stats_.refused;
+  }
+  if (refuse) return;  // destructor closes: connection refused mid-handshake
+
+  Result<std::string> request = ReadRawFrame(client_fd);
+  if (!request.ok()) {
+    MutexLock lock(&mu_);
+    ++stats_.relay_errors;
+    return;
+  }
+  std::string req = std::move(request).value();
+
+  const int port = target_port_();
+  Result<int> conn =
+      port > 0 ? cnet::ConnectLoopback(port)
+               : Result<int>(Status::Unavailable("proxy target down"));
+  if (!conn.ok()) {
+    MutexLock lock(&mu_);
+    ++stats_.relay_errors;
+    return;
+  }
+  cnet::ScopedFd server_fd(conn.value());
+
+  if (corrupt_req) {
+    req[mangle_draw % req.size()] ^= 0x20;
+    MutexLock lock(&mu_);
+    ++stats_.corrupted_requests;
+  }
+  if (cut_req) {
+    // Forward a strict prefix, then vanish: the server sees a connection
+    // cut mid-message, the client an unanswered request.
+    const size_t keep = mangle_draw % req.size();
+    (void)cnet::SendAll(server_fd.get(), req.data(), keep);
+    MutexLock lock(&mu_);
+    ++stats_.cut_requests;
+    return;
+  }
+  if (!cnet::SendAll(server_fd.get(), req.data(), req.size()).ok()) {
+    MutexLock lock(&mu_);
+    ++stats_.relay_errors;
+    return;
+  }
+
+  Result<std::string> response = ReadRawFrame(server_fd.get());
+  if (!response.ok()) {
+    MutexLock lock(&mu_);
+    ++stats_.relay_errors;
+    return;
+  }
+  std::string resp = std::move(response).value();
+
+  if (delay) {
+    {
+      MutexLock lock(&mu_);
+      ++stats_.delayed;
+    }
+    // An injected latency spike is a slow network, and must behave like
+    // one: nothing may be locked while the proxy sits on the response.
+    lockdep::AssertNoLocksHeld("ps.net.fault_proxy.latency");
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_us));
+  }
+  if (corrupt_resp) {
+    resp[mangle_draw % resp.size()] ^= 0x20;
+    MutexLock lock(&mu_);
+    ++stats_.corrupted_responses;
+  }
+  if (cut_resp) {
+    const size_t keep = mangle_draw % resp.size();
+    (void)cnet::SendAll(client_fd, resp.data(), keep);
+    MutexLock lock(&mu_);
+    ++stats_.cut_responses;
+    return;
+  }
+  (void)cnet::SendAll(client_fd, resp.data(), resp.size());
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

@@ -1,0 +1,119 @@
+// Deterministic network fault proxy: a real TCP hop that breaks things.
+//
+// FaultProxy listens on its own loopback port and relays each connection to
+// a target shard, parsing the frame boundaries so it can injure traffic in
+// precisely the ways the client stack claims to survive:
+//
+//   * refusal       — accept, then close before reading (dead backend);
+//   * latency spike — hold the response for latency_us;
+//   * cut request   — forward only a prefix of the request frame, close;
+//   * corrupt req.  — flip one byte of the request frame (dies at the
+//                     server's CRC; the server closes, the client retries);
+//   * cut response  — forward only a prefix of the response frame, close;
+//   * corrupt resp. — flip one byte of the response frame (dies at the
+//                     client's CRC, surfaces as retryable kUnavailable).
+//
+// All decisions come from one seeded Rng in a fixed draw order per
+// connection, so a seed reproduces the exact damage schedule. The target
+// port is re-resolved through a callback on every connection, so a shard
+// that ShardGroup respawned on a fresh port is picked up automatically —
+// tests point a ShardDirectory at proxy ports and the proxies chase the
+// real shards.
+//
+// Like the shard server, the proxy serves connections sequentially on its
+// accept thread: each connection is one request/response exchange, and the
+// client-side deadline watchdog bounds how long any exchange can take.
+#ifndef MAMDR_PS_NET_FAULT_PROXY_H_
+#define MAMDR_PS_NET_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/net.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+struct FaultProxyConfig {
+  uint64_t seed = 0;
+  /// P(connection closed before reading the request).
+  double refuse_prob = 0.0;
+  /// P(request frame forwarded only as a prefix, both sides closed).
+  double cut_request_prob = 0.0;
+  /// P(one request byte flipped before forwarding).
+  double corrupt_request_prob = 0.0;
+  /// P(response frame forwarded only as a prefix).
+  double cut_response_prob = 0.0;
+  /// P(one response byte flipped before forwarding).
+  double corrupt_response_prob = 0.0;
+  /// P(response held for latency_us before forwarding).
+  double latency_prob = 0.0;
+  int64_t latency_us = 1'000;
+  /// Upper bound on a relayed frame payload.
+  size_t max_frame_bytes = size_t{64} << 20;
+};
+
+/// What the proxy actually did (read by tests after a run).
+struct FaultProxyStats {
+  uint64_t connections = 0;
+  uint64_t refused = 0;
+  uint64_t cut_requests = 0;
+  uint64_t corrupted_requests = 0;
+  uint64_t cut_responses = 0;
+  uint64_t corrupted_responses = 0;
+  uint64_t delayed = 0;
+  /// Relays that failed for infrastructure reasons (target down, ...).
+  uint64_t relay_errors = 0;
+};
+
+class FaultProxy {
+ public:
+  /// `target_port` is called once per connection; returning 0 means the
+  /// target is down (the proxy closes the client connection).
+  FaultProxy(FaultProxyConfig config, std::function<int()> target_port);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+  FaultProxyStats stats() const MAMDR_EXCLUDES(mu_);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  /// Read one whole frame (header + payload + CRC) as raw bytes, without
+  /// validating the CRC — damaged bytes must still be relayed faithfully.
+  Result<std::string> ReadRawFrame(int fd);
+
+  const FaultProxyConfig config_;
+  const std::function<int()> target_port_;
+
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("ps.net.fault_proxy")};
+  Rng rng_ MAMDR_GUARDED_BY(mu_);
+  FaultProxyStats stats_ MAMDR_GUARDED_BY(mu_);
+
+  ::mamdr::net::Listener listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_NET_FAULT_PROXY_H_

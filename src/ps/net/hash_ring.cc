@@ -1,0 +1,62 @@
+#include "ps/net/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-distributed 64-bit mixing. The ring
+/// only needs uniformity, not cryptographic strength.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard, uint64_t seed)
+    : num_shards_(num_shards) {
+  MAMDR_CHECK_GE(num_shards, 1);
+  MAMDR_CHECK_GE(vnodes_per_shard, 1);
+  points_.reserve(static_cast<size_t>(num_shards) *
+                  static_cast<size_t>(vnodes_per_shard));
+  for (int shard = 0; shard < num_shards; ++shard) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      const uint64_t point =
+          Mix64(seed ^ Mix64((static_cast<uint64_t>(shard) << 32) |
+                             static_cast<uint64_t>(v)));
+      points_.emplace_back(point, shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::ShardForKey(uint64_t key) const {
+  const uint64_t h = Mix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<uint64_t, int>& p, uint64_t v) { return p.first < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap around the ring
+  return it->second;
+}
+
+uint64_t HashRing::DenseKey(int64_t param_idx) {
+  // Dense tensors and rows must never collide: tag the two key spaces.
+  return Mix64(0xD15C0000u ^ static_cast<uint64_t>(param_idx));
+}
+
+uint64_t HashRing::RowKey(int64_t param_idx, int64_t row) {
+  return Mix64((static_cast<uint64_t>(param_idx) << 40) ^
+               static_cast<uint64_t>(row) ^ 0x0E3B0000ull);
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

@@ -1,0 +1,558 @@
+#include "ps/net/net_ps_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/lockdep.h"
+#include "common/net.h"
+#include "obs/clock.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+namespace cnet = ::mamdr::net;
+
+namespace {
+
+const char* OpName(PsOp op) {
+  switch (op) {
+    case PsOp::kPing:
+      return "ping";
+    case PsOp::kPullParams:
+      return "pull_params";
+    case PsOp::kPushParams:
+      return "push_params";
+    case PsOp::kPullRows:
+      return "pull_rows";
+    case PsOp::kPushRows:
+      return "push_rows";
+    case PsOp::kRestoreParams:
+      return "restore_params";
+    case PsOp::kRestoreRows:
+      return "restore_rows";
+  }
+  return "unknown";
+}
+
+constexpr uint8_t kMaxOpByte = static_cast<uint8_t>(PsOp::kRestoreRows);
+
+}  // namespace
+
+NetPsClient::NetPsClient(NetPsClientConfig config, ShardDirectory* directory,
+                         const std::vector<Tensor>& layout,
+                         std::vector<bool> is_embedding)
+    : config_(config),
+      ring_(config.num_shards, config.vnodes_per_shard, config.ring_seed),
+      directory_(directory),
+      is_embedding_(std::move(is_embedding)) {
+  MAMDR_CHECK(directory_ != nullptr);
+  MAMDR_CHECK_EQ(directory_->num_shards(), config_.num_shards);
+  MAMDR_CHECK_EQ(layout.size(), is_embedding_.size());
+  shapes_.reserve(layout.size());
+  for (const Tensor& t : layout) shapes_.push_back(t.shape());
+
+  dense_by_shard_.resize(static_cast<size_t>(config_.num_shards));
+  for (size_t i = 0; i < shapes_.size(); ++i) {
+    if (is_embedding_[i]) {
+      MAMDR_CHECK_EQ(shapes_[i].size(), 2u);
+      continue;
+    }
+    const int owner = ring_.ShardForDense(static_cast<int64_t>(i));
+    dense_by_shard_[static_cast<size_t>(owner)].push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  retry_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    retry_.push_back(std::make_unique<RetryPolicy>(
+        config_.retry, config_.retry_seed + static_cast<uint64_t>(s)));
+  }
+
+  // 10us .. ~5s exponential buckets: covers loopback RTTs through injected
+  // latency spikes and retry storms.
+  rpc_us_by_op_.resize(kMaxOpByte + 1, nullptr);
+  for (uint8_t b = 1; b <= kMaxOpByte; ++b) {
+    rpc_us_by_op_[b] = obs::Registry::Global().histogram(
+        std::string("ps.net.client.rpc_us{op=\"") +
+            OpName(static_cast<PsOp>(b)) + "\"}",
+        obs::Histogram::ExponentialBounds(10.0, 2.0, 20),
+        obs::Stability::kRuntime);
+  }
+  deadline_cut_counter_ = obs::Registry::Global().counter(
+      "ps.net.client.deadline_cuts", obs::Stability::kRuntime);
+
+  if (config_.rpc_deadline_us > 0) {
+    wd_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+NetPsClient::~NetPsClient() {
+  {
+    MutexLock lock(&wd_mu_);
+    wd_stop_ = true;
+    wd_cv_.NotifyAll();
+  }
+  if (wd_thread_.joinable()) wd_thread_.join();
+}
+
+uint64_t NetPsClient::deadline_cuts() const {
+  MutexLock lock(&wd_mu_);
+  return wd_cuts_;
+}
+
+void NetPsClient::EnterOp() {
+  // Every op can block on the network; holding any lock across that is the
+  // pattern lockdep exists to catch.
+  lockdep::AssertNoLocksHeld("ps.net.client.op");
+  if (op_hook_) op_hook_();
+}
+
+// --- Watchdog --------------------------------------------------------------
+
+void NetPsClient::WatchdogLoop() {
+  MutexLock lock(&wd_mu_);
+  while (!wd_stop_) {
+    if (!wd_active_) {
+      wd_cv_.Wait(&wd_mu_);
+      continue;
+    }
+    const uint64_t gen = wd_generation_;
+    // Armed: run down the attempt budget. A notification (disarm, stop, or
+    // a spurious wakeup) re-checks state; a spurious wakeup restarts the
+    // full budget, which only ever extends the deadline of an attempt that
+    // is still in flight.
+    if (wd_cv_.WaitFor(&wd_mu_, config_.rpc_deadline_us)) continue;
+    if (wd_active_ && wd_generation_ == gen) {
+      // Deadline blown: cut the connection. The op thread's recv/send
+      // fails with the torn-connection kUnavailable and the retry layer
+      // takes over. shutdown(2) does not block, so calling it under wd_mu_
+      // is safe.
+      cnet::ShutdownFd(wd_fd_);
+      wd_fired_ = true;
+      ++wd_cuts_;
+      deadline_cut_counter_->Add();
+      while (wd_active_ && wd_generation_ == gen && !wd_stop_) {
+        wd_cv_.Wait(&wd_mu_);
+      }
+    }
+  }
+}
+
+void NetPsClient::ArmWatchdog(int fd) {
+  if (config_.rpc_deadline_us <= 0) return;
+  MutexLock lock(&wd_mu_);
+  // One in-flight RPC per client: the watchdog tracks a single fd.
+  MAMDR_CHECK(!wd_active_);
+  wd_fd_ = fd;
+  wd_fired_ = false;
+  wd_active_ = true;
+  ++wd_generation_;
+  wd_cv_.NotifyAll();
+}
+
+bool NetPsClient::DisarmWatchdog() {
+  if (config_.rpc_deadline_us <= 0) return false;
+  MutexLock lock(&wd_mu_);
+  wd_active_ = false;
+  wd_fd_ = -1;
+  ++wd_generation_;
+  const bool fired = wd_fired_;
+  wd_fired_ = false;
+  wd_cv_.NotifyAll();
+  return fired;
+}
+
+// --- Transport -------------------------------------------------------------
+
+Result<std::string> NetPsClient::CallOnce(int shard,
+                                          const std::string& request,
+                                          obs::Histogram* rpc_us) {
+  const int64_t start_us = obs::MonotonicMicros();
+  const int port = directory_->GetPort(shard);
+  if (port == 0) {
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " is down");
+  }
+  Result<int> conn = cnet::ConnectLoopback(port);
+  if (!conn.ok()) return conn.status();
+  cnet::ScopedFd fd(conn.value());
+
+  ArmWatchdog(fd.get());
+  Status sent = cnet::WriteFrame(fd.get(), request);
+  Result<std::string> response =
+      sent.ok() ? cnet::ReadFrame(fd.get(), config_.max_frame_bytes)
+                : Result<std::string>(sent);
+  const bool cut = DisarmWatchdog();
+
+  if (rpc_us != nullptr) {
+    rpc_us->Observe(static_cast<double>(obs::MonotonicMicros() - start_us));
+  }
+  if (!response.ok() && cut) {
+    // The failure was manufactured by our own deadline, not the peer; say
+    // so, and stay kUnavailable so the retry layer re-attempts.
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " rpc deadline exceeded (connection cut)");
+  }
+  if (!response.ok() &&
+      response.status().code() == StatusCode::kInvalidArgument) {
+    // A response frame that fails CRC/framing was damaged in transit, so
+    // map it to the retryable code. The request may already have applied —
+    // a retried push can then double-apply, the same bounded loss class as
+    // a dropped push (see ARCHITECTURE.md). A *remote* kInvalidArgument
+    // decoded from a valid frame is a real rejection and passes through
+    // Call() untouched.
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " response frame damaged: " +
+                               response.status().message());
+  }
+  return response;
+}
+
+Result<std::string> NetPsClient::Call(int shard, PsOp op, std::string body,
+                                      const char* what) {
+  PayloadWriter w;
+  w.PutU8(static_cast<uint8_t>(op));
+  std::string request = w.Take() + std::move(body);
+  obs::Histogram* rpc_us = rpc_us_by_op_[static_cast<uint8_t>(op)];
+
+  std::string ok_body;
+  const Status st = retry_[static_cast<size_t>(shard)]->Run(
+      [&]() -> Status {
+        Result<std::string> framed = CallOnce(shard, request, rpc_us);
+        MAMDR_RETURN_IF_ERROR(framed.status());
+        PayloadReader r(framed.value());
+        // The response header carries the remote Status; a remote
+        // kUnavailable (e.g. mid-failover) stays retryable here.
+        MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
+        ok_body = framed.value().substr(framed.value().size() -
+                                        r.remaining());
+        return Status::OK();
+      },
+      what);
+  if (!st.ok()) return st;
+  return ok_body;
+}
+
+// --- Validation ------------------------------------------------------------
+
+Status NetPsClient::CheckIndex(int64_t idx, bool want_embedding) const {
+  if (idx < 0 || idx >= static_cast<int64_t>(shapes_.size())) {
+    return Status::InvalidArgument("ps client: param index " +
+                                   std::to_string(idx) + " out of range");
+  }
+  if (want_embedding && !is_embedding_[static_cast<size_t>(idx)]) {
+    return Status::InvalidArgument("ps client: param " + std::to_string(idx) +
+                                   " is not an embedding table");
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::CheckRows(int64_t idx,
+                              const std::vector<int64_t>& rows) const {
+  const int64_t n = shapes_[static_cast<size_t>(idx)][0];
+  for (int64_t r : rows) {
+    if (r < 0 || r >= n) {
+      return Status::InvalidArgument(
+          "ps client: row " + std::to_string(r) + " outside table " +
+          std::to_string(idx) + " (" + std::to_string(n) + " rows)");
+    }
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::CheckTableShape(int64_t idx, const Tensor& t,
+                                    const char* what) const {
+  if (t.shape() != shapes_[static_cast<size_t>(idx)]) {
+    return Status::InvalidArgument(
+        std::string("ps client: ") + what + " shape " +
+        ShapeToString(t.shape()) + " != param " + std::to_string(idx) +
+        " shape " + ShapeToString(shapes_[static_cast<size_t>(idx)]));
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<int64_t>> NetPsClient::GroupRowsByShard(
+    int64_t idx, const std::vector<int64_t>& rows) const {
+  std::vector<std::vector<int64_t>> by_shard(
+      static_cast<size_t>(config_.num_shards));
+  for (const int64_t row : rows) {
+    by_shard[static_cast<size_t>(ring_.ShardForRow(idx, row))].push_back(row);
+  }
+  return by_shard;
+}
+
+// --- Ops -------------------------------------------------------------------
+
+Status NetPsClient::Ping(int shard) {
+  EnterOp();
+  if (shard < 0 || shard >= config_.num_shards) {
+    return Status::InvalidArgument("ping: bad shard " +
+                                   std::to_string(shard));
+  }
+  MAMDR_ASSIGN_OR_RETURN(const std::string body,
+                         Call(shard, PsOp::kPing, std::string(), "ps.Ping"));
+  if (!body.empty()) {
+    return Status::InvalidArgument("ping: unexpected response body");
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::PullDense(std::vector<Tensor>* out) {
+  EnterOp();
+  return PullDenseFanout(out);
+}
+
+Status NetPsClient::PullDenseFanout(std::vector<Tensor>* out) {
+  if (out->size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: pull destination has " + std::to_string(out->size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::vector<uint32_t>& idxs = dense_by_shard_[static_cast<size_t>(s)];
+    if (idxs.empty()) continue;
+    for (const uint32_t idx : idxs) {
+      MAMDR_RETURN_IF_ERROR(
+          CheckTableShape(idx, (*out)[idx], "pull destination"));
+    }
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(idxs.size()));
+    for (const uint32_t idx : idxs) w.PutU32(idx);
+    MAMDR_ASSIGN_OR_RETURN(
+        const std::string body,
+        Call(s, PsOp::kPullParams, w.Take(), "ps.PullDense"));
+    PayloadReader r(body);
+    for (const uint32_t want : idxs) {
+      uint32_t idx = 0;
+      uint64_t size = 0;
+      MAMDR_RETURN_IF_ERROR(r.GetU32(&idx));
+      MAMDR_RETURN_IF_ERROR(r.GetU64(&size));
+      if (idx != want ||
+          size != static_cast<uint64_t>(NumElements(shapes_[idx]))) {
+        return Status::InvalidArgument(
+            "pull_params: response entry mismatch for param " +
+            std::to_string(want));
+      }
+      MAMDR_RETURN_IF_ERROR(
+          r.GetF32Array((*out)[idx].data(), static_cast<size_t>(size)));
+    }
+    MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::PullRowsFanout(int64_t idx,
+                                   const std::vector<int64_t>& rows,
+                                   Tensor* into, const char* what) {
+  const int64_t dim = shapes_[static_cast<size_t>(idx)][1];
+  if (dim <= 0) return Status::OK();  // nothing to move
+  const std::vector<std::vector<int64_t>> by_shard =
+      GroupRowsByShard(idx, rows);
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::vector<int64_t>& shard_rows =
+        by_shard[static_cast<size_t>(s)];
+    if (shard_rows.empty()) continue;
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(idx));
+    w.PutU64(shard_rows.size());
+    for (const int64_t row : shard_rows) w.PutI64(row);
+    MAMDR_ASSIGN_OR_RETURN(const std::string body,
+                           Call(s, PsOp::kPullRows, w.Take(), what));
+    PayloadReader r(body);
+    uint64_t got_dim = 0;
+    MAMDR_RETURN_IF_ERROR(r.GetU64(&got_dim));
+    if (got_dim != static_cast<uint64_t>(dim)) {
+      return Status::InvalidArgument(
+          "pull_rows: response dim " + std::to_string(got_dim) +
+          " != table dim " + std::to_string(dim));
+    }
+    float* base = into->data();
+    for (const int64_t row : shard_rows) {
+      MAMDR_RETURN_IF_ERROR(
+          r.GetF32Array(base + row * dim, static_cast<size_t>(dim)));
+    }
+    MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
+                             Tensor* into) {
+  EnterOp();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
+  return PullRowsFanout(idx, rows, into, "ps.PullRows");
+}
+
+Status NetPsClient::PullFullTable(int64_t idx, Tensor* into) {
+  EnterOp();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
+  const int64_t n = shapes_[static_cast<size_t>(idx)][0];
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
+  return PullRowsFanout(idx, rows, into, "ps.PullFullTable");
+}
+
+Status NetPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
+                                   float beta) {
+  EnterOp();
+  if (delta.size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: dense delta has " + std::to_string(delta.size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (int s = 0; s < config_.num_shards; ++s) {
+    std::vector<uint32_t> idxs;
+    for (const uint32_t idx : dense_by_shard_[static_cast<size_t>(s)]) {
+      if (delta[idx].empty()) continue;  // skipped, like the direct path
+      MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, delta[idx], "dense delta"));
+      idxs.push_back(idx);
+    }
+    if (idxs.empty()) continue;
+    PayloadWriter w;
+    w.PutF32(beta);
+    w.PutU32(static_cast<uint32_t>(idxs.size()));
+    for (const uint32_t idx : idxs) {
+      w.PutU32(idx);
+      w.PutU64(static_cast<uint64_t>(delta[idx].size()));
+      w.PutF32Array(delta[idx].data(),
+                    static_cast<size_t>(delta[idx].size()));
+    }
+    MAMDR_ASSIGN_OR_RETURN(
+        const std::string body,
+        Call(s, PsOp::kPushParams, w.Take(), "ps.PushDenseDelta"));
+    if (!body.empty()) {
+      return Status::InvalidArgument("push_params: unexpected response body");
+    }
+  }
+  return Status::OK();
+}
+
+Status NetPsClient::PushRowDeltas(int64_t idx,
+                                  const std::vector<int64_t>& rows,
+                                  const Tensor& delta, float beta) {
+  EnterOp();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, delta, "push delta"));
+  const int64_t dim = shapes_[static_cast<size_t>(idx)][1];
+  if (dim <= 0) return Status::OK();
+  const std::vector<std::vector<int64_t>> by_shard =
+      GroupRowsByShard(idx, rows);
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::vector<int64_t>& shard_rows =
+        by_shard[static_cast<size_t>(s)];
+    if (shard_rows.empty()) continue;
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(idx));
+    w.PutF32(beta);
+    w.PutU64(shard_rows.size());
+    for (const int64_t row : shard_rows) w.PutI64(row);
+    w.PutU64(static_cast<uint64_t>(dim));
+    const float* base = delta.data();
+    for (const int64_t row : shard_rows) {
+      w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
+    }
+    MAMDR_ASSIGN_OR_RETURN(
+        const std::string body,
+        Call(s, PsOp::kPushRows, w.Take(), "ps.PushRowDeltas"));
+    if (!body.empty()) {
+      return Status::InvalidArgument("push_rows: unexpected response body");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> NetPsClient::Snapshot() {
+  EnterOp();
+  std::vector<Tensor> out;
+  out.reserve(shapes_.size());
+  for (const Shape& shape : shapes_) out.emplace_back(shape);
+  // Dense tensors come from their owning shards; every embedding row comes
+  // from the shard the ring assigns it to, so the assembled snapshot covers
+  // the full layout.
+  MAMDR_RETURN_IF_ERROR(PullDenseFanout(&out));
+  for (size_t i = 0; i < shapes_.size(); ++i) {
+    if (!is_embedding_[i]) continue;
+    const int64_t n = shapes_[i][0];
+    std::vector<int64_t> rows(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
+    MAMDR_RETURN_IF_ERROR(PullRowsFanout(static_cast<int64_t>(i), rows,
+                                         &out[i], "ps.Snapshot"));
+  }
+  return out;
+}
+
+Status NetPsClient::Restore(const std::vector<Tensor>& params) {
+  EnterOp();
+  if (params.size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: restore has " + std::to_string(params.size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    MAMDR_RETURN_IF_ERROR(
+        CheckTableShape(static_cast<int64_t>(i), params[i], "restore entry"));
+  }
+  // Dense tensors: assignment push to each owning shard.
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::vector<uint32_t>& idxs = dense_by_shard_[static_cast<size_t>(s)];
+    if (idxs.empty()) continue;
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(idxs.size()));
+    for (const uint32_t idx : idxs) {
+      w.PutU32(idx);
+      w.PutU64(static_cast<uint64_t>(params[idx].size()));
+      w.PutF32Array(params[idx].data(),
+                    static_cast<size_t>(params[idx].size()));
+    }
+    MAMDR_ASSIGN_OR_RETURN(
+        const std::string body,
+        Call(s, PsOp::kRestoreParams, w.Take(), "ps.Restore"));
+    if (!body.empty()) {
+      return Status::InvalidArgument(
+          "restore_params: unexpected response body");
+    }
+  }
+  // Embedding tables: assignment row push, grouped by owner.
+  for (size_t i = 0; i < shapes_.size(); ++i) {
+    if (!is_embedding_[i]) continue;
+    const int64_t dim = shapes_[i][1];
+    if (dim <= 0) continue;
+    const int64_t n = shapes_[i][0];
+    std::vector<int64_t> all_rows(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) all_rows[static_cast<size_t>(r)] = r;
+    const std::vector<std::vector<int64_t>> by_shard =
+        GroupRowsByShard(static_cast<int64_t>(i), all_rows);
+    for (int s = 0; s < config_.num_shards; ++s) {
+      const std::vector<int64_t>& shard_rows =
+          by_shard[static_cast<size_t>(s)];
+      if (shard_rows.empty()) continue;
+      PayloadWriter w;
+      w.PutU32(static_cast<uint32_t>(i));
+      w.PutU64(shard_rows.size());
+      for (const int64_t row : shard_rows) w.PutI64(row);
+      w.PutU64(static_cast<uint64_t>(dim));
+      const float* base = params[i].data();
+      for (const int64_t row : shard_rows) {
+        w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
+      }
+      MAMDR_ASSIGN_OR_RETURN(
+          const std::string body,
+          Call(s, PsOp::kRestoreRows, w.Take(), "ps.Restore"));
+      if (!body.empty()) {
+        return Status::InvalidArgument(
+            "restore_rows: unexpected response body");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

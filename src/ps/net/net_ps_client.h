@@ -1,0 +1,183 @@
+// Networked PsClient: the worker-side half of the sharded parameter server.
+//
+// NetPsClient implements the exact PsClient contract Worker and
+// DistributedMamdr already program against, but carries every op over the
+// common/net frame codec to the shard that the consistent-hash ring assigns
+// each key to. Dense tensors route whole (one owner per tensor); embedding
+// rows route individually, so one PullRows/PushRowDeltas fans out to every
+// shard that owns a requested row and reassembles the results in request
+// order.
+//
+// Robustness model (the point of this class):
+//
+//   * Per-attempt deadline — a persistent watchdog thread arms a
+//     CondVar::WaitFor budget around every RPC attempt; on expiry it cuts
+//     the connection (ShutdownFd), which surfaces in the op thread as the
+//     kUnavailable a torn connection produces. No raw clock arithmetic, no
+//     thread spawned per RPC.
+//   * Transport retry — each shard RPC runs under its own seeded
+//     RetryPolicy, so refused connects, cut frames, and deadline cuts are
+//     retried with deterministic backoff before the op-level policy in
+//     Worker ever sees a failure.
+//   * Down-shard short-circuit — a shard published as down (port 0 in the
+//     ShardDirectory) yields kUnavailable without touching the network;
+//     when ShardGroup respawns it on a fresh port, the next attempt finds
+//     the new endpoint through the same directory lookup.
+//   * No aborts on hostile bytes — a response that fails CRC, framing, or
+//     wire-format validation becomes kInvalidArgument/kUnavailable; the
+//     worker's retry/handling path decides what happens next.
+//
+// Threading: one in-flight op per client (enforced); each worker owns its
+// own client, matching how Worker owns its PsClient today.
+#ifndef MAMDR_PS_NET_NET_PS_CLIENT_H_
+#define MAMDR_PS_NET_NET_PS_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "ps/net/hash_ring.h"
+#include "ps/net/shard_directory.h"
+#include "ps/net/wire.h"
+#include "ps/ps_client.h"
+#include "tensor/tensor.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+struct NetPsClientConfig {
+  int num_shards = 1;
+  /// Ring geometry; must match every shard server's construction.
+  int vnodes_per_shard = 64;
+  uint64_t ring_seed = 0x6d616d6472u;
+  /// Watchdog budget per RPC attempt; <= 0 disables the deadline.
+  int64_t rpc_deadline_us = 2'000'000;
+  /// Transport-level retry wrapped around every shard RPC (per-shard
+  /// deterministic schedules, seeded retry_seed + shard).
+  RetryConfig retry;
+  uint64_t retry_seed = 0;
+  /// Upper bound on a single frame payload (request or response).
+  size_t max_frame_bytes = size_t{64} << 20;
+};
+
+class NetPsClient : public PsClient {
+ public:
+  /// `layout` fixes the parameter shapes this client validates against and
+  /// routes by (values are not read); `is_embedding[i]` marks
+  /// row-addressable tensors. `directory` must outlive the client.
+  NetPsClient(NetPsClientConfig config, ShardDirectory* directory,
+              const std::vector<Tensor>& layout,
+              std::vector<bool> is_embedding);
+  ~NetPsClient() override;
+
+  NetPsClient(const NetPsClient&) = delete;
+  NetPsClient& operator=(const NetPsClient&) = delete;
+
+  int64_t num_params() const override {
+    return static_cast<int64_t>(shapes_.size());
+  }
+  bool is_embedding(int64_t idx) const override {
+    return is_embedding_[static_cast<size_t>(idx)];
+  }
+  Status PullDense(std::vector<Tensor>* out) override;
+  Status PullRows(int64_t idx, const std::vector<int64_t>& rows,
+                  Tensor* into) override;
+  Status PullFullTable(int64_t idx, Tensor* into) override;
+  Status PushDenseDelta(const std::vector<Tensor>& delta,
+                        float beta) override;
+  Status PushRowDeltas(int64_t idx, const std::vector<int64_t>& rows,
+                       const Tensor& delta, float beta) override;
+  Result<std::vector<Tensor>> Snapshot() override;
+  Status Restore(const std::vector<Tensor>& params) override;
+
+  /// Health probe against one shard (empty request/response round trip).
+  Status Ping(int shard);
+
+  /// Invoked at the start of every PsClient op, before any network I/O and
+  /// with no locks held — the chaos tests use it to kill/respawn shards at
+  /// deterministic points in the op sequence. Set before the client is
+  /// used; not synchronized against in-flight ops.
+  void SetOpHookForTest(std::function<void()> hook) {
+    op_hook_ = std::move(hook);
+  }
+
+  /// RPC attempts the watchdog cut for blowing the deadline (test/debug).
+  uint64_t deadline_cuts() const MAMDR_EXCLUDES(wd_mu_);
+
+ private:
+  void EnterOp();
+
+  /// One retried RPC to `shard`: frame `request`, send, read the framed
+  /// response, strip the response header, return the ok-body. Non-OK remote
+  /// statuses come back reconstructed (kUnavailable stays retryable).
+  Result<std::string> Call(int shard, PsOp op, std::string request,
+                           const char* what);
+  /// A single attempt (no retry): connect, send, receive under watchdog.
+  Result<std::string> CallOnce(int shard, const std::string& request,
+                               obs::Histogram* rpc_us);
+
+  void WatchdogLoop();
+  void ArmWatchdog(int fd) MAMDR_EXCLUDES(wd_mu_);
+  /// Returns true when the watchdog cut this attempt's connection.
+  bool DisarmWatchdog() MAMDR_EXCLUDES(wd_mu_);
+
+  /// rows[i] -> owning shard, grouped preserving request order.
+  std::vector<std::vector<int64_t>> GroupRowsByShard(
+      int64_t idx, const std::vector<int64_t>& rows) const;
+
+  /// Shared cores (no op hook): dense fan-out for PullDense / Snapshot,
+  /// sparse fan-out for PullRows / PullFullTable / Snapshot.
+  Status PullDenseFanout(std::vector<Tensor>* out);
+  Status PullRowsFanout(int64_t idx, const std::vector<int64_t>& rows,
+                        Tensor* into, const char* what);
+
+  Status CheckIndex(int64_t idx, bool want_embedding) const;
+  Status CheckRows(int64_t idx, const std::vector<int64_t>& rows) const;
+  Status CheckTableShape(int64_t idx, const Tensor& t,
+                         const char* what) const;
+
+  const NetPsClientConfig config_;
+  const HashRing ring_;
+  ShardDirectory* const directory_;
+
+  // Immutable layout captured at construction.
+  std::vector<Shape> shapes_;
+  std::vector<bool> is_embedding_;
+  /// Dense (non-embedding) param indices owned by each shard, ascending.
+  std::vector<std::vector<uint32_t>> dense_by_shard_;
+
+  std::vector<std::unique_ptr<RetryPolicy>> retry_;  // one per shard
+  std::function<void()> op_hook_;
+
+  /// Per-op RPC latency histograms (ps.net.client.rpc_us{op="..."}) and the
+  /// deadline-cut counter, registered once at construction.
+  std::vector<obs::Histogram*> rpc_us_by_op_;
+  obs::Counter* deadline_cut_counter_;
+
+  // Watchdog: armed per RPC attempt with the in-flight fd; on deadline
+  // expiry it shuts the fd down and waits to be disarmed.
+  mutable Mutex wd_mu_{MAMDR_LOCK_CLASS("ps.net.client.watchdog")};
+  CondVar wd_cv_;
+  int wd_fd_ MAMDR_GUARDED_BY(wd_mu_) = -1;
+  uint64_t wd_generation_ MAMDR_GUARDED_BY(wd_mu_) = 0;
+  bool wd_active_ MAMDR_GUARDED_BY(wd_mu_) = false;
+  bool wd_fired_ MAMDR_GUARDED_BY(wd_mu_) = false;
+  bool wd_stop_ MAMDR_GUARDED_BY(wd_mu_) = false;
+  uint64_t wd_cuts_ MAMDR_GUARDED_BY(wd_mu_) = 0;
+  std::thread wd_thread_;
+};
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_NET_NET_PS_CLIENT_H_

@@ -1,0 +1,32 @@
+#include "ps/net/shard_directory.h"
+
+#include "common/check.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+ShardDirectory::ShardDirectory(int num_shards) : num_shards_(num_shards) {
+  MAMDR_CHECK_GE(num_shards, 1);
+  // The max() keeps GCC's flow analysis from modeling a negative count
+  // (already impossible per the check above) as a near-SIZE_MAX fill.
+  ports_.assign(static_cast<size_t>(num_shards > 1 ? num_shards : 1), 0);
+}
+
+void ShardDirectory::SetPort(int shard, int port) {
+  MAMDR_CHECK_GE(shard, 0);
+  MAMDR_CHECK_LT(shard, num_shards_);
+  MutexLock lock(&mu_);
+  ports_[static_cast<size_t>(shard)] = port;
+}
+
+int ShardDirectory::GetPort(int shard) const {
+  MAMDR_CHECK_GE(shard, 0);
+  MAMDR_CHECK_LT(shard, num_shards_);
+  MutexLock lock(&mu_);
+  return ports_[static_cast<size_t>(shard)];
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

@@ -1,0 +1,45 @@
+// Thread-safe shard -> endpoint map: the service-discovery seam between
+// clients and whatever runs the shards.
+//
+// ShardGroup (in-process orchestration) keeps its directory current across
+// kill/respawn — a respawned shard binds a fresh ephemeral port, and
+// clients pick the new endpoint up on their next connect with no
+// per-connection coordination. Tests point a directory at fault-proxy
+// ports instead so every client byte crosses the proxy. Port 0 marks a
+// shard down; clients translate that to kUnavailable without touching the
+// network.
+#ifndef MAMDR_PS_NET_SHARD_DIRECTORY_H_
+#define MAMDR_PS_NET_SHARD_DIRECTORY_H_
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+class ShardDirectory {
+ public:
+  explicit ShardDirectory(int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Publish shard `shard`'s endpoint; 0 marks it down.
+  void SetPort(int shard, int port) MAMDR_EXCLUDES(mu_);
+
+  /// Current endpoint of `shard` (0 = down / never published).
+  int GetPort(int shard) const MAMDR_EXCLUDES(mu_);
+
+ private:
+  const int num_shards_;
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("ps.net.directory")};
+  std::vector<int> ports_ MAMDR_GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_NET_SHARD_DIRECTORY_H_

@@ -1,0 +1,435 @@
+#include "ps/net/shard_server.h"
+
+#include <utility>
+
+#include "checkpoint/checkpoint.h"
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+namespace cnet = ::mamdr::net;
+
+namespace {
+
+std::string ShardLabel(const char* family, int shard_id) {
+  return std::string(family) + "{shard=\"" + std::to_string(shard_id) +
+         "\"}";
+}
+
+/// Parse the numeric suffix of a "param/<i>" checkpoint tensor name;
+/// -1 on anything that is not a plain decimal number.
+int64_t ParseParamIndex(const std::string& suffix) {
+  if (suffix.empty() || suffix.size() > 9) return -1;
+  int64_t v = 0;
+  for (const char c : suffix) {
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+ShardServer::ShardServer(ShardServerConfig config, std::vector<Tensor> params,
+                         std::vector<bool> is_embedding)
+    : config_(config),
+      ring_(config.num_shards, config.vnodes_per_shard, config.ring_seed),
+      is_embedding_(std::move(is_embedding)) {
+  // Deep-copy: Tensor copies share storage, and a shard must never alias
+  // the caller's buffers (or another shard's).
+  params_.reserve(params.size());
+  for (const Tensor& t : params) params_.push_back(t.Clone());
+  MAMDR_CHECK_GE(config_.shard_id, 0);
+  MAMDR_CHECK_LT(config_.shard_id, config_.num_shards);
+  MAMDR_CHECK_EQ(params_.size(), is_embedding_.size());
+  sizes_.reserve(params_.size());
+  rows_.reserve(params_.size());
+  cols_.reserve(params_.size());
+  shapes_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& t = params_[i];
+    sizes_.push_back(t.size());
+    rows_.push_back(is_embedding_[i] ? t.rows() : 0);
+    cols_.push_back(is_embedding_[i] ? t.cols() : 0);
+    shapes_.push_back(t.shape());
+    if (is_embedding_[i]) MAMDR_CHECK_EQ(t.rank(), 2);
+  }
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("shard server already running");
+  }
+  MAMDR_RETURN_IF_ERROR(listener_.Bind(port));
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  obs::Registry::Global()
+      .gauge(ShardLabel("ps.net.shard.up", config_.shard_id),
+             obs::Stability::kRuntime)
+      ->Set(1.0);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+  obs::Registry::Global()
+      .gauge(ShardLabel("ps.net.shard.up", config_.shard_id),
+             obs::Stability::kRuntime)
+      ->Set(0.0);
+}
+
+void ShardServer::AcceptLoop() {
+  for (;;) {
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (accepted.ok() && accepted.value() >= 0) {
+        cnet::ScopedFd drop(accepted.value());
+      }
+      return;
+    }
+    if (!accepted.ok()) return;  // listener broken; Stop() still joins
+    if (accepted.value() < 0) continue;
+    cnet::ScopedFd fd(accepted.value());
+    // A peer that freezes mid-request is cut off by the stall guard; the
+    // shard's accept loop can never be wedged by one client.
+    const int raw = fd.get();
+    cnet::RunWithStallGuard(
+        config_.stall_timeout_us, [this, raw] { ServeConnection(raw); },
+        [raw] { cnet::ShutdownFd(raw); });
+  }
+}
+
+void ShardServer::ServeConnection(int fd) {
+  Result<std::string> request =
+      cnet::ReadFrame(fd, config_.max_frame_bytes);
+  if (!request.ok()) {
+    {
+      MutexLock lock(&mu_);
+      ++stats_.bad_requests;
+    }
+    // The request never survived the frame layer — cut connection or CRC /
+    // framing damage. Either way the bytes were mangled in transit, not
+    // malformed by the client, so close without answering: the client sees
+    // a torn connection (kUnavailable) and its retry re-sends the intact
+    // request. Only a *decodable* frame carrying a bad message earns a
+    // kInvalidArgument response (HandleRequest below).
+    return;
+  }
+  const std::string response = HandleRequest(request.value());
+  (void)cnet::WriteFrame(fd, response);
+}
+
+std::string ShardServer::HandleRequest(const std::string& request) {
+  {
+    MutexLock lock(&mu_);
+    ++stats_.requests;
+  }
+  obs::Registry::Global()
+      .counter(ShardLabel("ps.net.shard.requests", config_.shard_id),
+               obs::Stability::kRuntime)
+      ->Add();
+
+  PayloadReader r(request);
+  Result<std::string> body = [&]() -> Result<std::string> {
+    uint8_t op_byte = 0;
+    MAMDR_RETURN_IF_ERROR(r.GetU8(&op_byte));
+    switch (static_cast<PsOp>(op_byte)) {
+      case PsOp::kPing:
+        MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
+        return std::string();
+      case PsOp::kPullParams:
+        return HandlePullParams(&r);
+      case PsOp::kPushParams:
+        return HandlePushParams(&r, /*restore=*/false);
+      case PsOp::kPullRows:
+        return HandlePullRows(&r);
+      case PsOp::kPushRows:
+        return HandlePushRows(&r, /*restore=*/false);
+      case PsOp::kRestoreParams:
+        return HandlePushParams(&r, /*restore=*/true);
+      case PsOp::kRestoreRows:
+        return HandlePushRows(&r, /*restore=*/true);
+    }
+    return Status::InvalidArgument("ps wire: unknown op " +
+                                   std::to_string(op_byte));
+  }();
+
+  if (!body.ok()) {
+    MutexLock lock(&mu_);
+    ++stats_.bad_requests;
+    return EncodeErrorResponse(body.status());
+  }
+  PayloadWriter w;
+  BeginOkResponse(&w);
+  return w.Take() + body.value();
+}
+
+Status ShardServer::CheckParamIndex(uint32_t idx, bool want_embedding) const {
+  if (idx >= is_embedding_.size()) {
+    return Status::InvalidArgument("shard " +
+                                   std::to_string(config_.shard_id) +
+                                   ": param index " + std::to_string(idx) +
+                                   " out of range");
+  }
+  if (is_embedding_[idx] != want_embedding) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(config_.shard_id) + ": param " +
+        std::to_string(idx) +
+        (want_embedding ? " is not an embedding table"
+                        : " is an embedding table"));
+  }
+  if (!want_embedding &&
+      ring_.ShardForDense(static_cast<int64_t>(idx)) != config_.shard_id) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(config_.shard_id) + ": not the owner of "
+        "dense param " + std::to_string(idx));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ShardServer::HandlePullParams(PayloadReader* r) {
+  uint32_t n = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > is_embedding_.size()) {
+    return Status::InvalidArgument("pull_params: count " + std::to_string(n) +
+                                   " exceeds layout size");
+  }
+  std::vector<uint32_t> idxs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&idxs[i]));
+    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idxs[i], /*want_embedding=*/false));
+  }
+  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
+
+  PayloadWriter w;
+  MutexLock lock(&mu_);
+  for (const uint32_t idx : idxs) {
+    const Tensor& t = params_[idx];
+    w.PutU32(idx);
+    w.PutU64(static_cast<uint64_t>(t.size()));
+    w.PutF32Array(t.data(), static_cast<size_t>(t.size()));
+  }
+  return w.Take();
+}
+
+Result<std::string> ShardServer::HandlePushParams(PayloadReader* r,
+                                                  bool restore) {
+  float beta = 1.0f;
+  if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
+  uint32_t n = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > is_embedding_.size()) {
+    return Status::InvalidArgument("push_params: count " + std::to_string(n) +
+                                   " exceeds layout size");
+  }
+  // Parse and validate the whole message before touching state: a push
+  // applies on this shard entirely or not at all.
+  std::vector<std::pair<uint32_t, std::vector<float>>> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t idx = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/false));
+    uint64_t size = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&size));
+    if (size != static_cast<uint64_t>(sizes_[idx])) {
+      return Status::InvalidArgument(
+          "push_params: param " + std::to_string(idx) + " size " +
+          std::to_string(size) + " != " + std::to_string(sizes_[idx]));
+    }
+    std::vector<float> data(static_cast<size_t>(size));
+    MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
+    entries.emplace_back(idx, std::move(data));
+  }
+  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
+
+  MutexLock lock(&mu_);
+  for (const auto& [idx, delta] : entries) {
+    float* p = params_[idx].data();
+    if (restore) {
+      for (size_t k = 0; k < delta.size(); ++k) p[k] = delta[k];
+    } else {
+      for (size_t k = 0; k < delta.size(); ++k) p[k] += beta * delta[k];
+    }
+  }
+  return std::string();
+}
+
+Result<std::string> ShardServer::HandlePullRows(PayloadReader* r) {
+  uint32_t idx = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+  MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
+  const int64_t table_rows = rows_[idx];
+  const int64_t dim = cols_[idx];
+  if (dim <= 0) {
+    return Status::InvalidArgument("pull_rows: param " + std::to_string(idx) +
+                                   " has no columns");
+  }
+  uint64_t nrows = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
+  const uint64_t max_rows =
+      config_.max_frame_bytes / (static_cast<uint64_t>(dim) * sizeof(float));
+  if (nrows > max_rows) {
+    return Status::InvalidArgument("pull_rows: row count " +
+                                   std::to_string(nrows) +
+                                   " exceeds frame budget");
+  }
+  std::vector<int64_t> rows(static_cast<size_t>(nrows));
+  for (auto& row : rows) {
+    MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
+    if (row < 0 || row >= table_rows) {
+      return Status::InvalidArgument(
+          "pull_rows: row " + std::to_string(row) + " out of range [0, " +
+          std::to_string(table_rows) + ") for param " + std::to_string(idx));
+    }
+    if (ring_.ShardForRow(idx, row) != config_.shard_id) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(config_.shard_id) +
+          ": not the owner of param " + std::to_string(idx) + " row " +
+          std::to_string(row));
+    }
+  }
+  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
+
+  PayloadWriter w;
+  w.PutU64(static_cast<uint64_t>(dim));
+  MutexLock lock(&mu_);
+  const float* base = params_[idx].data();
+  for (const int64_t row : rows) {
+    w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
+  }
+  stats_.rows_pulled += nrows;
+  return w.Take();
+}
+
+Result<std::string> ShardServer::HandlePushRows(PayloadReader* r,
+                                                bool restore) {
+  uint32_t idx = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+  MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
+  const int64_t table_rows = rows_[idx];
+  const int64_t table_dim = cols_[idx];
+  if (table_dim <= 0) {
+    return Status::InvalidArgument("push_rows: param " + std::to_string(idx) +
+                                   " has no columns");
+  }
+  float beta = 1.0f;
+  if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
+  uint64_t nrows = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
+  const uint64_t max_rows =
+      config_.max_frame_bytes /
+      (static_cast<uint64_t>(table_dim) * sizeof(float));
+  if (nrows > max_rows) {
+    return Status::InvalidArgument("push_rows: row count " +
+                                   std::to_string(nrows) +
+                                   " exceeds frame budget");
+  }
+  std::vector<int64_t> rows(static_cast<size_t>(nrows));
+  for (auto& row : rows) {
+    MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
+    if (row < 0 || row >= table_rows) {
+      return Status::InvalidArgument(
+          "push_rows: row " + std::to_string(row) + " out of range [0, " +
+          std::to_string(table_rows) + ") for param " + std::to_string(idx));
+    }
+    if (ring_.ShardForRow(idx, row) != config_.shard_id) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(config_.shard_id) +
+          ": not the owner of param " + std::to_string(idx) + " row " +
+          std::to_string(row));
+    }
+  }
+  uint64_t dim = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU64(&dim));
+  if (dim != static_cast<uint64_t>(table_dim)) {
+    return Status::InvalidArgument(
+        "push_rows: dim " + std::to_string(dim) + " != table dim " +
+        std::to_string(table_dim) + " for param " + std::to_string(idx));
+  }
+  std::vector<float> data(static_cast<size_t>(nrows * dim));
+  MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
+  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
+
+  MutexLock lock(&mu_);
+  float* base = params_[idx].data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    float* dst = base + rows[i] * table_dim;
+    const float* src = data.data() + i * dim;
+    if (restore) {
+      for (int64_t k = 0; k < table_dim; ++k) dst[k] = src[k];
+    } else {
+      for (int64_t k = 0; k < table_dim; ++k) dst[k] += beta * src[k];
+    }
+  }
+  stats_.rows_pushed += nrows;
+  return std::string();
+}
+
+Status ShardServer::SaveCheckpoint() {
+  if (config_.checkpoint_path.empty()) return Status::OK();
+  std::vector<std::pair<std::string, Tensor>> named;
+  {
+    MutexLock lock(&mu_);
+    named.reserve(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      named.emplace_back("param/" + std::to_string(i), params_[i].Clone());
+    }
+  }
+  // File I/O happens outside the state lock.
+  return checkpoint::SaveTensors(named, config_.checkpoint_path);
+}
+
+Status ShardServer::RestoreFromCheckpoint() {
+  if (config_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition("shard has no checkpoint path");
+  }
+  MAMDR_ASSIGN_OR_RETURN(const auto named,
+                         checkpoint::LoadTensors(config_.checkpoint_path));
+  if (named.size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "shard checkpoint has " + std::to_string(named.size()) +
+        " tensors, layout has " + std::to_string(shapes_.size()));
+  }
+  std::vector<Tensor> restored(shapes_.size());
+  for (const auto& [name, tensor] : named) {
+    if (name.rfind("param/", 0) != 0) {
+      return Status::InvalidArgument("shard checkpoint: unexpected tensor '" +
+                                     name + "'");
+    }
+    const int64_t i = ParseParamIndex(name.substr(6));
+    if (i < 0 || i >= static_cast<int64_t>(shapes_.size())) {
+      return Status::InvalidArgument("shard checkpoint: tensor '" + name +
+                                     "' out of range");
+    }
+    if (tensor.shape() != shapes_[static_cast<size_t>(i)]) {
+      return Status::InvalidArgument("shard checkpoint: tensor '" + name +
+                                     "' shape mismatch");
+    }
+    restored[static_cast<size_t>(i)] = tensor;
+  }
+  MutexLock lock(&mu_);
+  params_ = std::move(restored);
+  return Status::OK();
+}
+
+ShardStats ShardServer::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

@@ -1,0 +1,152 @@
+// One shard of the networked parameter server.
+//
+// A ShardServer owns the full parameter layout (same tensors as the
+// in-process ParameterServer) but is *authoritative* only for the keys the
+// consistent-hash ring assigns to its shard id: a request that touches a
+// key it does not own is rejected with kInvalidArgument — with a correct
+// client that means a routing bug or a corrupted-but-CRC-valid message, and
+// either way it must not be silently applied.
+//
+// Transport: one accept thread serves connections sequentially (request
+// rates are a handful of RPCs per worker per batch; sequential handling
+// keeps the server trivially race-free). Each connection carries exactly
+// one framed request and one framed response (common/net frame codec); a
+// client that stalls mid-request is cut off by the same CondVar::WaitFor
+// stall guard the metrics endpoint uses, so a frozen peer can never wedge
+// the shard.
+//
+// Mutation RPCs validate the complete message *before* touching any state,
+// so a push either applies entirely on this shard or not at all (per-shard
+// atomicity; cross-shard atomicity is explicitly not provided — see
+// docs/ARCHITECTURE.md "Sharded parameter server").
+//
+// Durability: SaveCheckpoint writes the shard's tensors through
+// checkpoint::SaveTensors (tmp+rename, CRC-32 footer) to the configured
+// path; a respawned shard restores from that file and loses only the
+// pushes applied since — the same loss class as the fault injector's
+// dropped pushes.
+#ifndef MAMDR_PS_NET_SHARD_SERVER_H_
+#define MAMDR_PS_NET_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/net.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "ps/net/hash_ring.h"
+#include "ps/net/wire.h"
+#include "tensor/tensor.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+struct ShardServerConfig {
+  int shard_id = 0;
+  int num_shards = 1;
+  /// Ring geometry; must match every client's HashRing construction.
+  int vnodes_per_shard = 64;
+  uint64_t ring_seed = 0x6d616d6472u;
+  /// Per-shard checkpoint file; "" disables checkpointing.
+  std::string checkpoint_path;
+  /// Stall guard for a client that freezes mid-request.
+  int64_t stall_timeout_us = 2'000'000;
+  /// Upper bound on a single frame payload (request or response).
+  size_t max_frame_bytes = size_t{64} << 20;
+};
+
+/// Request/traffic counters (read by tests after a run).
+struct ShardStats {
+  uint64_t requests = 0;
+  uint64_t bad_requests = 0;
+  uint64_t rows_pulled = 0;
+  uint64_t rows_pushed = 0;
+};
+
+class ShardServer {
+ public:
+  /// `params` is the full layout (values only matter for owned keys);
+  /// `is_embedding[i]` marks row-addressable tensors.
+  ShardServer(ShardServerConfig config, std::vector<Tensor> params,
+              std::vector<bool> is_embedding);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start the accept thread.
+  Status Start(int port = 0);
+
+  /// Stop accepting and join. Idempotent; the destructor calls it.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int shard_id() const { return config_.shard_id; }
+
+  /// Write the shard's state to config_.checkpoint_path (atomic, CRC'd).
+  /// OK no-op when checkpointing is disabled.
+  Status SaveCheckpoint();
+
+  /// Overwrite state from the checkpoint file. kNotFound message when the
+  /// file has never been written (callers fall back to initial values).
+  Status RestoreFromCheckpoint();
+
+  /// Decode one request payload and produce the response payload — the
+  /// entire RPC semantics without the socket, which is what the wire-format
+  /// corruption matrix drives directly. Never throws, never aborts on
+  /// malformed input: every parse or validation failure becomes an encoded
+  /// error response.
+  std::string HandleRequest(const std::string& request);
+
+  ShardStats stats() const MAMDR_EXCLUDES(mu_);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  /// Op handlers: parse + validate fully, then apply. Return the ok-response
+  /// body appended after the response header, or the error to encode.
+  Result<std::string> HandlePullParams(PayloadReader* r) MAMDR_EXCLUDES(mu_);
+  Result<std::string> HandlePushParams(PayloadReader* r, bool restore)
+      MAMDR_EXCLUDES(mu_);
+  Result<std::string> HandlePullRows(PayloadReader* r) MAMDR_EXCLUDES(mu_);
+  Result<std::string> HandlePushRows(PayloadReader* r, bool restore)
+      MAMDR_EXCLUDES(mu_);
+
+  /// Shared validation: `idx` in range, embedding-ness as expected, and —
+  /// for dense tensors — owned by this shard.
+  Status CheckParamIndex(uint32_t idx, bool want_embedding) const;
+
+  const ShardServerConfig config_;
+  const HashRing ring_;
+  const std::vector<bool> is_embedding_;
+
+  // Immutable layout caches (shapes never change after construction), so
+  // request validation runs without the state lock.
+  std::vector<int64_t> sizes_;
+  std::vector<int64_t> rows_;
+  std::vector<int64_t> cols_;
+  std::vector<Shape> shapes_;
+
+  mutable Mutex mu_{MAMDR_LOCK_CLASS("ps.net.shard.state")};
+  std::vector<Tensor> params_ MAMDR_GUARDED_BY(mu_);
+  ShardStats stats_ MAMDR_GUARDED_BY(mu_);
+
+  ::mamdr::net::Listener listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr
+
+#endif  // MAMDR_PS_NET_SHARD_SERVER_H_

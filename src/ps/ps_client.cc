@@ -1,5 +1,7 @@
 #include "ps/ps_client.h"
 
+#include <string>
+
 #include "common/lockdep.h"
 #include "common/logging.h"
 
@@ -19,10 +21,67 @@ void CheckBlockingBoundary() { lockdep::AssertNoLocksHeld("ps.client.op"); }
 
 DirectPsClient::DirectPsClient(ParameterServer* server) : server_(server) {
   MAMDR_CHECK(server_ != nullptr);
+  // One-time layout capture; server shapes are immutable after
+  // construction so this never goes stale.
+  std::vector<Tensor> snapshot = server_->SnapshotAll();
+  shapes_.reserve(snapshot.size());
+  table_rows_.reserve(snapshot.size());
+  for (const Tensor& t : snapshot) {
+    shapes_.push_back(t.shape());
+    const bool table = t.shape().size() == 2;
+    table_rows_.push_back(table ? t.shape()[0] : 0);
+  }
+}
+
+Status DirectPsClient::CheckIndex(int64_t idx, bool want_embedding) const {
+  if (idx < 0 || idx >= static_cast<int64_t>(shapes_.size())) {
+    return Status::InvalidArgument("ps client: param index " +
+                                   std::to_string(idx) + " out of range");
+  }
+  if (want_embedding && !server_->is_embedding(idx)) {
+    return Status::InvalidArgument("ps client: param " + std::to_string(idx) +
+                                   " is not an embedding table");
+  }
+  return Status::OK();
+}
+
+Status DirectPsClient::CheckRows(int64_t idx,
+                                 const std::vector<int64_t>& rows) const {
+  const int64_t n = table_rows_[static_cast<size_t>(idx)];
+  for (int64_t r : rows) {
+    if (r < 0 || r >= n) {
+      return Status::InvalidArgument(
+          "ps client: row " + std::to_string(r) + " outside table " +
+          std::to_string(idx) + " (" + std::to_string(n) + " rows)");
+    }
+  }
+  return Status::OK();
+}
+
+Status DirectPsClient::CheckTableShape(int64_t idx, const Tensor& t,
+                                       const char* what) const {
+  if (t.shape() != shapes_[static_cast<size_t>(idx)]) {
+    return Status::InvalidArgument(
+        std::string("ps client: ") + what + " shape " +
+        ShapeToString(t.shape()) + " != param " + std::to_string(idx) +
+        " shape " + ShapeToString(shapes_[static_cast<size_t>(idx)]));
+  }
+  return Status::OK();
 }
 
 Status DirectPsClient::PullDense(std::vector<Tensor>* out) {
   CheckBlockingBoundary();
+  if (out->size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: pull destination has " + std::to_string(out->size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (size_t i = 0; i < out->size(); ++i) {
+    // The server copies element-for-element into every non-embedding slot.
+    if (server_->is_embedding(static_cast<int64_t>(i))) continue;
+    MAMDR_RETURN_IF_ERROR(CheckTableShape(static_cast<int64_t>(i), (*out)[i],
+                                          "pull destination"));
+  }
   server_->PullDense(out);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
@@ -30,12 +89,17 @@ Status DirectPsClient::PullDense(std::vector<Tensor>* out) {
 Status DirectPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
                                 Tensor* into) {
   CheckBlockingBoundary();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
   server_->PullRows(idx, rows, into);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
 
 Status DirectPsClient::PullFullTable(int64_t idx, Tensor* into) {
   CheckBlockingBoundary();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
   server_->PullFullTable(idx, into);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
@@ -43,6 +107,19 @@ Status DirectPsClient::PullFullTable(int64_t idx, Tensor* into) {
 Status DirectPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
                                       float beta) {
   CheckBlockingBoundary();
+  if (delta.size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: dense delta has " + std::to_string(delta.size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (size_t i = 0; i < delta.size(); ++i) {
+    // Embedding and empty entries are skipped server-side; anything else
+    // must match the layout shape.
+    if (server_->is_embedding(static_cast<int64_t>(i))) continue;
+    if (delta[i].empty()) continue;
+    MAMDR_RETURN_IF_ERROR(
+        CheckTableShape(static_cast<int64_t>(i), delta[i], "dense delta"));
+  }
   server_->PushDenseDelta(delta, beta);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
@@ -51,6 +128,9 @@ Status DirectPsClient::PushRowDeltas(int64_t idx,
                                      const std::vector<int64_t>& rows,
                                      const Tensor& delta, float beta) {
   CheckBlockingBoundary();
+  MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
+  MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
+  MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, delta, "push delta"));
   server_->PushRowDeltas(idx, rows, delta, beta);  // mamdr-lint: allow(ignored-status)
   return Status::OK();
 }
@@ -58,6 +138,25 @@ Status DirectPsClient::PushRowDeltas(int64_t idx,
 Result<std::vector<Tensor>> DirectPsClient::Snapshot() {
   CheckBlockingBoundary();
   return server_->SnapshotAll();
+}
+
+Status DirectPsClient::Restore(const std::vector<Tensor>& params) {
+  CheckBlockingBoundary();
+  if (params.size() != shapes_.size()) {
+    return Status::InvalidArgument(
+        "ps client: restore has " + std::to_string(params.size()) +
+        " entries, layout has " + std::to_string(shapes_.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].shape() != shapes_[i]) {
+      return Status::InvalidArgument(
+          "ps client: restore entry " + std::to_string(i) + " shape " +
+          ShapeToString(params[i].shape()) + " != layout shape " +
+          ShapeToString(shapes_[i]));
+    }
+  }
+  server_->RestoreAll(params);  // mamdr-lint: allow(ignored-status)
+  return Status::OK();
 }
 
 }  // namespace ps

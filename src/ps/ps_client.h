@@ -50,10 +50,19 @@ class PsClient {
 
   /// Full parameter snapshot (evaluation / checkpointing).
   virtual Result<std::vector<Tensor>> Snapshot() = 0;
+
+  /// Overwrite every parameter from a same-layout snapshot (checkpoint
+  /// resume). The inverse of Snapshot().
+  virtual Status Restore(const std::vector<Tensor>& params) = 0;
 };
 
-/// In-process client: forwards directly to the ParameterServer; every call
-/// succeeds. The fault-free baseline the chaos runs are compared against.
+/// In-process client: forwards directly to the ParameterServer. Requests
+/// are validated against the parameter layout *before* they reach the
+/// server — a malformed op (index out of range, wrong table, row beyond the
+/// table, shape mismatch) returns kInvalidArgument instead of tripping the
+/// server's MAMDR_CHECK aborts, so a corrupted request degrades the one op
+/// rather than killing the process. The fault-free baseline the chaos runs
+/// are compared against.
 class DirectPsClient : public PsClient {
  public:
   explicit DirectPsClient(ParameterServer* server);
@@ -71,9 +80,21 @@ class DirectPsClient : public PsClient {
   Status PushRowDeltas(int64_t idx, const std::vector<int64_t>& rows,
                        const Tensor& delta, float beta) override;
   Result<std::vector<Tensor>> Snapshot() override;
+  Status Restore(const std::vector<Tensor>& params) override;
 
  private:
+  /// `idx` must name an embedding table (with `want_embedding`) or a valid
+  /// parameter; `rows`, when given, must all lie inside the table.
+  Status CheckIndex(int64_t idx, bool want_embedding) const;
+  Status CheckRows(int64_t idx, const std::vector<int64_t>& rows) const;
+  Status CheckTableShape(int64_t idx, const Tensor& t,
+                         const char* what) const;
+
   ParameterServer* server_;
+  /// Immutable layout captured at construction (server shapes never
+  /// change), so validation needs no server round trip.
+  std::vector<Shape> shapes_;
+  std::vector<int64_t> table_rows_;
 };
 
 }  // namespace ps

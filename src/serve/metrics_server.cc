@@ -1,17 +1,13 @@
 #include "serve/metrics_server.h"
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <vector>
+
+#include "common/net.h"
 
 namespace mamdr {
 namespace serve {
@@ -78,23 +74,6 @@ GroupByFamily(const std::vector<Row>& rows) {
   return families;
 }
 
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-#ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-#else
-    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
-#endif
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 std::string PrometheusText(const obs::RegistrySnapshot& snapshot) {
@@ -152,41 +131,8 @@ Status MetricsServer::Start(int port) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("metrics server already running");
   }
-  if (port < 0 || port > 65535) {
-    return Status::InvalidArgument("metrics server: bad port " +
-                                   std::to_string(port));
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
-                            "): " + err);
-  }
-  if (::listen(fd, 16) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal(std::string("listen(): ") + err);
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal(std::string("getsockname(): ") + err);
-  }
-  listen_fd_ = fd;
-  port_ = static_cast<int>(ntohs(bound.sin_port));
+  MAMDR_RETURN_IF_ERROR(listener_.Bind(port));
+  port_ = listener_.port();
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -197,10 +143,7 @@ void MetricsServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listener_.Close();
   port_ = 0;
   running_.store(false, std::memory_order_release);
 }
@@ -209,55 +152,32 @@ void MetricsServer::AcceptLoop() {
   obs::Counter* requests = registry_->counter(
       "serve.metrics_server.requests", obs::Stability::kRuntime);
   for (;;) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
     // The short poll timeout only bounds how long Stop() waits for the
     // join; pending connections sit in the listen backlog meanwhile.
-    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (stopping_.load(std::memory_order_acquire)) return;
-    if (rc <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listener broken; Stop() still joins cleanly
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (accepted.ok() && accepted.value() >= 0) {
+        net::ScopedFd drop(accepted.value());
+      }
+      return;
     }
+    if (!accepted.ok()) return;  // listener broken; Stop() still joins
+    if (accepted.value() < 0) continue;
+    net::ScopedFd fd(accepted.value());
     requests->Add();
-    HandleConnection(fd);
-    ::close(fd);
+    HandleConnection(fd.get());
   }
 }
 
 void MetricsServer::HandleConnection(int fd) {
   // Slow-client guard: a scraper that stalls mid-request must not wedge the
-  // accept loop. A reader thread serves the request with plain blocking
-  // I/O; the accept thread enforces the deadline with a timed
-  // condition-variable wait (CondVar::WaitFor) and, on timeout, shuts the
-  // socket down, which unblocks the reader's recv(). No deadline
-  // arithmetic, no raw clock reads — the timeout lives entirely in the
-  // wait. (A spurious wakeup restarts the full budget; that only ever
-  // extends the deadline for a client that is still connected.)
-  Mutex mu{MAMDR_LOCK_CLASS("serve.metrics_server.conn")};
-  CondVar cv;
-  bool done = false;
-  std::thread reader([&] {
-    ServeRequest(fd);
-    MutexLock lock(&mu);
-    done = true;
-    cv.NotifyAll();
-  });
-  {
-    MutexLock lock(&mu);
-    while (!done) {
-      if (!cv.WaitFor(&mu, slow_client_timeout_us_)) {
-        // Timed out: force the reader off the socket, then wait for it to
-        // acknowledge so the fd is not closed under its feet.
-        ::shutdown(fd, SHUT_RDWR);
-        while (!done) cv.Wait(&mu);
-      }
-    }
-  }
-  reader.join();
+  // accept loop. net::RunWithStallGuard serves the request on a reader
+  // thread with plain blocking I/O while this (accept) thread enforces the
+  // deadline with a timed condition-variable wait; on timeout it shuts the
+  // socket down, which unblocks the reader's recv().
+  net::RunWithStallGuard(
+      slow_client_timeout_us_, [this, fd] { ServeRequest(fd); },
+      [fd] { net::ShutdownFd(fd); });
 }
 
 void MetricsServer::ServeRequest(int fd) {
@@ -265,10 +185,10 @@ void MetricsServer::ServeRequest(int fd) {
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < 8192) {
     char buf[1024];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // closed, shut down by the watchdog, or broken
-    request.append(buf, static_cast<size_t>(n));
+    const Result<size_t> n = net::RecvSome(fd, buf, sizeof(buf));
+    // 0 bytes / error: closed, shut down by the watchdog, or broken.
+    if (!n.ok() || n.value() == 0) return;
+    request.append(buf, n.value());
   }
 
   const size_t eol = request.find("\r\n");
@@ -310,8 +230,9 @@ void MetricsServer::ServeRequest(int fd) {
                 "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
                 "Connection: close\r\n\r\n",
                 status.c_str(), content_type.c_str(), body.size());
-  if (SendAll(fd, header, std::strlen(header))) {
-    SendAll(fd, body.data(), body.size());
+  // Best-effort response: a send failure means the scraper went away.
+  if (net::SendAll(fd, header, std::strlen(header)).ok()) {
+    (void)net::SendAll(fd, body.data(), body.size());
   }
 }
 

@@ -13,6 +13,10 @@
 // timeout it shuts the socket down, which unblocks the reader. Stop() (and
 // the destructor) shuts the listener down and joins the accept thread; the
 // serving hot path never blocks on the server.
+//
+// The socket plumbing (listener, EINTR-safe I/O, stall guard) lives in
+// common/net.{h,cc}, shared with the networked parameter server (ps/net);
+// this file only knows HTTP and the exposition format.
 #ifndef MAMDR_SERVE_METRICS_SERVER_H_
 #define MAMDR_SERVE_METRICS_SERVER_H_
 
@@ -21,7 +25,7 @@
 #include <string>
 #include <thread>
 
-#include "common/mutex.h"
+#include "common/net.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -85,7 +89,7 @@ class MetricsServer {
   obs::Registry* registry_;  // borrowed, never null after construction
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
+  net::Listener listener_;
   int port_ = 0;
   int64_t slow_client_timeout_us_ = 2'000'000;
   std::thread accept_thread_;

@@ -6,18 +6,14 @@
 // ) and round-trips the /metrics HTTP server over a real loopback socket on
 // an ephemeral port. Everything runs against a private Registry so the
 // global one (shared with other suites in this binary) stays untouched.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include "common/net.h"
 
 #include <gtest/gtest.h>
 
@@ -32,33 +28,22 @@ namespace {
 /// Minimal blocking HTTP client: send one request line to 127.0.0.1:port
 /// and return the whole response (headers + body).
 std::string HttpRequest(int port, const std::string& request) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  EXPECT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(fd);
-    ADD_FAILURE() << "connect failed: " << std::strerror(errno);
+  auto conn = net::ConnectLoopback(port);
+  if (!conn.ok()) {
+    ADD_FAILURE() << "connect failed: " << conn.status().ToString();
     return "";
   }
-  size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
+  net::ScopedFd fd(conn.value());
+  // A reset during send just yields an empty response below.
+  const Status sent = net::SendAll(fd.get(), request.data(), request.size());
+  (void)sent;
   std::string response;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<size_t>(n));
+    auto n = net::RecvSome(fd.get(), buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;
+    response.append(buf, n.value());
   }
-  ::close(fd);
   return response;
 }
 
@@ -226,24 +211,18 @@ TEST(MetricsServerTest, SlowClientIsShutDownAndServerStaysLive) {
   // Connect, send half a request, then stall. The CondVar::WaitFor watchdog
   // must shut the connection down after the timeout instead of wedging the
   // accept loop.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
-  ASSERT_EQ(
-      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
-      0);
+  auto conn = net::ConnectLoopback(server.port());
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  net::ScopedFd fd(conn.value());
   const char partial[] = "GET /metr";  // no terminating \r\n\r\n, ever
-  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+  ASSERT_TRUE(net::SendAll(fd.get(), partial, sizeof(partial) - 1).ok());
 
-  // The watchdog's shutdown() surfaces here as EOF (recv returns 0) or a
-  // reset — either way the blocking read finishes instead of hanging.
+  // The watchdog's shutdown() surfaces here as EOF (RecvSome returns 0) or
+  // a reset — either way the blocking read finishes instead of hanging.
   char buf[64];
-  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-  EXPECT_LE(n, 0);
-  ::close(fd);
+  auto n = net::RecvSome(fd.get(), buf, sizeof(buf));
+  EXPECT_TRUE(!n.ok() || n.value() == 0);
+  fd.reset();
 
   // The accept loop survived the slow client and serves the next request.
   EXPECT_NE(HttpGet(server.port(), "/healthz").find("200"),

@@ -53,6 +53,17 @@ the offending line):
                   to be on the request path. Files without the marker are
                   untouched by this rule, so it costs nothing until a file
                   opts in.
+  raw-socket      a direct global-scope POSIX socket call (``::socket``,
+                  ``::connect``, ``::bind``, ``::listen``, ``::accept``,
+                  ``::recv``, ``::send``, ``::setsockopt``, ``::shutdown``)
+                  outside src/common/net.cc. Every byte that crosses a
+                  socket must go through the common/net helpers — that is
+                  what makes the EINTR/SIGPIPE handling, the kUnavailable/
+                  kInvalidArgument error mapping, and the frame codec's
+                  corruption guarantees hold everywhere, and what makes the
+                  ps/net fault proxy a faithful model of all real traffic.
+                  A deliberate raw client (e.g. a test probing pre-frame
+                  behavior) carries the allow comment.
   header-guard    headers must use the canonical include guard
                   ``MAMDR_<PATH>_H_`` (path relative to the repo root with a
                   leading ``src/`` dropped), not ``#pragma once``.
@@ -112,6 +123,13 @@ NATIVE_MUTEX_EXEMPT = ("src/common/mutex.h",)
 # Opt-in marker: a file containing this comment declares its steady-state
 # code lock-free; every MutexLock in it must justify itself with an allow.
 HOT_PATH_MARKER_RE = re.compile(r"//\s*mamdr-lint:\s*hot-path\b")
+# Global-scope-qualified POSIX socket calls. The lookbehind keeps qualified
+# names (std::bind, net::SendAll, obj.connect) from matching: only a `::`
+# that begins the qualification — i.e. the global namespace — counts.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w:])::\s*(?:socket|connect|bind|listen|accept|recv|send"
+    r"|setsockopt|shutdown)\s*\(")
+RAW_SOCKET_EXEMPT = ("src/common/net.cc",)
 MUTEX_LOCK_RE = re.compile(r"\bMutexLock\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
@@ -223,6 +241,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
     clock_comment_ok = rel_path in RAW_CLOCK_COMMENT_ALLOWED
     mutex_wrapper_file = rel_path in NATIVE_MUTEX_EXEMPT
+    socket_wrapper_file = rel_path in RAW_SOCKET_EXEMPT
     hot_path_file = HOT_PATH_MARKER_RE.search(text) is not None
 
     for i, raw_line in enumerate(lines, start=1):
@@ -267,6 +286,13 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                             "raw std locking primitive is invisible to "
                             "-Wthread-safety and lockdep; use mamdr::Mutex/"
                             "MutexLock/CondVar from common/mutex.h"))
+        if not socket_wrapper_file and "raw-socket" not in allowed:
+            if RAW_SOCKET_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "raw-socket",
+                            "raw POSIX socket call outside common/net.cc; "
+                            "use the net:: helpers so error mapping and "
+                            "framing guarantees hold"))
         if hot_path_file and "hot-path-lock" not in allowed:
             if MUTEX_LOCK_RE.search(line):
                 findings.append(

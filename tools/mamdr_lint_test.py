@@ -236,6 +236,60 @@ class NativeMutexRule(unittest.TestCase):
         self.assertEqual(rules(findings), [])
 
 
+class RawSocketRule(unittest.TestCase):
+    def test_flags_each_banned_call(self):
+        for call in ("::socket(AF_INET, SOCK_STREAM, 0)",
+                     "::connect(fd, addr, len)",
+                     "::bind(fd, addr, len)",
+                     "::listen(fd, 16)",
+                     "::accept(fd, nullptr, nullptr)",
+                     "::recv(fd, buf, n, 0)",
+                     "::send(fd, buf, n, 0)",
+                     "::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &o, so)",
+                     "::shutdown(fd, SHUT_RDWR)"):
+            findings = mamdr_lint.lint_text(
+                "src/ps/net/shard_server.cc", f"  int n = {call};\n")
+            self.assertEqual(rules(findings), ["raw-socket"], call)
+
+    def test_wrapper_file_exempt(self):
+        findings = mamdr_lint.lint_text(
+            "src/common/net.cc",
+            "  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+            "  ::shutdown(fd, SHUT_RDWR);\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_qualified_names_are_fine(self):
+        # std::bind / a namespace's own connect/send must not match; only
+        # the global-scope `::` qualification counts.
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/net_ps_client.cc",
+            "  auto f = std::bind(&F, this);\n"
+            "  net::SendAll(fd, p, n);\n"
+            "  auto r = mamdr::net::ConnectLoopback(port);\n"
+            "  client.connect(port);\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_tests_and_tools_also_covered(self):
+        for path in ("tests/foo_test.cc", "tools/mamdr_run.cc",
+                     "bench/bench_ps.cpp"):
+            findings = mamdr_lint.lint_text(
+                path, "  ::connect(fd, addr, len);\n")
+            self.assertEqual(rules(findings), ["raw-socket"], path)
+
+    def test_allow_comment(self):
+        findings = mamdr_lint.lint_text(
+            "tests/raw_client_test.cc",
+            "  ::send(fd, p, n, 0);  "
+            "// mamdr-lint: allow(raw-socket) deliberate raw client\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_comment_mention_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/wire.cc",
+            "// bans direct ::socket()/::connect() calls outside net.cc\n")
+        self.assertEqual(rules(findings), [])
+
+
 class HeaderGuardRule(unittest.TestCase):
     GOOD = ("#ifndef MAMDR_COMMON_FLAGS_H_\n"
             "#define MAMDR_COMMON_FLAGS_H_\n"
