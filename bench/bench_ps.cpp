@@ -1,15 +1,22 @@
 // bench_ps: parameter-server op round trips, direct vs networked.
 //
 // Measures the four PS ops every training step issues — dense pull/push and
-// sparse embedding-row pull/push — against three backends sharing one
+// sparse embedding-row pull/push — against five backends sharing one
 // parameter layout:
 //
-//   direct  DirectPsClient -> in-process ParameterServer (the lower bound:
-//           one mutex and a memcpy, no serialization)
-//   net1    NetPsClient -> 1-shard ShardGroup over loopback TCP (adds the
-//           full wire cost: framing, CRC, connect-per-op, one RPC)
-//   net4    NetPsClient -> 4-shard ShardGroup (adds fan-out: a dense op is
-//           one RPC per shard; a row op hits only the owners)
+//   direct    DirectPsClient -> in-process ParameterServer (the lower
+//             bound: one mutex and a memcpy, no serialization)
+//   net1-cpo  NetPsClient -> 1-shard ShardGroup over loopback TCP with
+//             pool_connections=false (the PR 8 transport: framing, CRC,
+//             and a fresh connect per op)
+//   net1      same shard group, pooled: one persistent connection reused
+//             across ops — the connect/teardown cost drops out
+//   net4-cpo  4-shard ShardGroup, connect-per-op (fan-out: a dense op is
+//             one RPC per shard; a row op hits only the owners)
+//   net4      4-shard, pooled (the production configuration)
+//
+// The pooled/-cpo pairs are the regression gate for the connection pool:
+// pooled rtt must stay well under connect-per-op rtt.
 //
 // Reported per (backend, op): mean round-trip microseconds (`rtt_us`,
 // lower-better for perfdiff) and throughput (`qps`: rows/s for the row
@@ -190,12 +197,18 @@ int main(int argc, char** argv) {
     gc.num_shards = num_shards;
     ps::net::ShardGroup group(gc, MakeLayout(), IsEmbedding());
     MAMDR_CHECK(group.Start().ok());
-    ps::net::NetPsClientConfig cc;
-    cc.num_shards = num_shards;
-    ps::net::NetPsClient client(cc, group.directory(), MakeLayout(),
-                                IsEmbedding());
-    BenchClient(&client, "net" + std::to_string(num_shards), iters, rows,
-                &entries);
+    // Connect-per-op first, then pooled, against the same live group: the
+    // pair isolates exactly the transport difference.
+    for (const bool pooled : {false, true}) {
+      ps::net::NetPsClientConfig cc;
+      cc.num_shards = num_shards;
+      cc.pool_connections = pooled;
+      ps::net::NetPsClient client(cc, group.directory(), MakeLayout(),
+                                  IsEmbedding());
+      BenchClient(&client,
+                  "net" + std::to_string(num_shards) + (pooled ? "" : "-cpo"),
+                  iters, rows, &entries);
+    }
   }
 
   WriteJson(out, entries);

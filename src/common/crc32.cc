@@ -1,32 +1,59 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace mamdr {
 namespace {
 
 constexpr uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+/// Slice-by-8 tables: t[0] is the classic bytewise table; t[s][i] advances
+/// the CRC of byte i by s additional zero bytes. Processing 8 input bytes
+/// per step with 8 independent table lookups breaks the per-byte loop
+/// dependency and runs ~5x faster than bytewise — the frame CRC sits on
+/// the RPC hot path for every 32KB dense payload, in both directions.
+/// The polynomial (and therefore every produced checksum: wire frames,
+/// checkpoints) is unchanged.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (size_t s = 1; s < 8; ++s) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFFu];
+    }
+  }
+  return t;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = MakeTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kT = MakeTables();
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
+  // Two little-endian words per step (all supported targets are LE; the
+  // same assumption the wire format already bakes in).
+  while (len >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= c;
+    c = kT[7][lo & 0xFFu] ^ kT[6][(lo >> 8) & 0xFFu] ^
+        kT[5][(lo >> 16) & 0xFFu] ^ kT[4][lo >> 24] ^ kT[3][hi & 0xFFu] ^
+        kT[2][(hi >> 8) & 0xFFu] ^ kT[1][(hi >> 16) & 0xFFu] ^
+        kT[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
   for (size_t i = 0; i < len; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = kT[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,9 +1,11 @@
 #include "common/net.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -33,6 +35,13 @@ uint32_t GetU32(const char* p) {
          (static_cast<uint32_t>(b[3]) << 24);
 }
 
+void StoreU32(char* p, uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
 }  // namespace
 
 void ScopedFd::reset(int fd) {
@@ -53,6 +62,10 @@ Status SendAll(int fd, const void* data, size_t size) {
 #endif
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO (SetIoTimeout) expired: the peer stopped draining.
+        return Status::Unavailable("net::SendAll: i/o deadline exceeded");
+      }
       return Status::Unavailable(std::string("net::SendAll: ") +
                                  std::strerror(errno));
     }
@@ -70,6 +83,10 @@ Status RecvAll(int fd, void* data, size_t size) {
     const ssize_t n = ::recv(fd, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO (SetIoTimeout) expired: the peer stalled mid-frame.
+        return Status::Unavailable("net::RecvAll: i/o deadline exceeded");
+      }
       return Status::Unavailable(std::string("net::RecvAll: ") +
                                  std::strerror(errno));
     }
@@ -99,6 +116,31 @@ Result<size_t> RecvSome(int fd, void* buf, size_t cap) {
 
 void ShutdownFd(int fd) {
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status SetIoTimeout(int fd, int64_t timeout_us) {
+  if (fd < 0) return Status::Internal("net::SetIoTimeout: bad fd");
+  if (timeout_us < 0) {
+    return Status::InvalidArgument("net::SetIoTimeout: negative timeout");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_us / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout_us % 1'000'000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::Internal(std::string("net::SetIoTimeout: setsockopt: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool ProbeConnAlive(int fd) {
+  if (fd < 0) return false;
+  char b;
+  const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return false;  // orderly EOF: peer closed while idle
+  if (n > 0) return false;   // unsolicited bytes on an idle RPC conn: desync
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
 }
 
 Status Listener::Bind(int port) {
@@ -137,7 +179,19 @@ Status Listener::Bind(int port) {
     ::close(fd);
     return Status::Internal(std::string("getsockname(): ") + err);
   }
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(std::string("pipe(): ") + err);
+  }
+  // Nonblocking on both ends: draining can never hang PollAccept, and a
+  // full pipe makes Wake() a no-op (a wake is already pending).
+  ::fcntl(pipefd[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(pipefd[1], F_SETFL, O_NONBLOCK);
   fd_.reset(fd);
+  wake_rd_.reset(pipefd[0]);
+  wake_wr_.reset(pipefd[1]);
   port_ = static_cast<int>(ntohs(bound.sin_port));
   return Status::OK();
 }
@@ -146,15 +200,30 @@ Result<int> Listener::PollAccept(int timeout_ms) {
   if (!fd_.valid()) {
     return Status::FailedPrecondition("net::Listener: not bound");
   }
-  pollfd pfd{};
-  pfd.fd = fd_.get();
-  pfd.events = POLLIN;
-  const int rc = ::poll(&pfd, 1, timeout_ms);
+  pollfd pfds[2];
+  pfds[0].fd = fd_.get();
+  pfds[0].events = POLLIN;
+  pfds[0].revents = 0;
+  pfds[1].fd = wake_rd_.get();
+  pfds[1].events = POLLIN;
+  pfds[1].revents = 0;
+  const int rc = ::poll(pfds, 2, timeout_ms);
   if (rc < 0 && errno != EINTR) {
     return Status::Internal(std::string("poll(): ") + std::strerror(errno));
   }
   if (rc <= 0) return -1;  // timeout (or EINTR): caller re-polls
-  const int fd = ::accept(pfd.fd, nullptr, nullptr);
+  if ((pfds[1].revents & POLLIN) != 0) {
+    // Wake(): drain whatever tokens have accumulated and yield to the
+    // caller's stop check. A connection that raced in alongside the wake
+    // is picked up by the next PollAccept (or dropped at Close, which a
+    // stopping server wants anyway).
+    char buf[64];
+    while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+    }
+    return -1;
+  }
+  if ((pfds[0].revents & POLLIN) == 0) return -1;
+  const int fd = ::accept(pfds[0].fd, nullptr, nullptr);
   if (fd < 0) {
     if (errno == EINTR || errno == ECONNABORTED) return -1;
     return Status::Internal(std::string("accept(): ") + std::strerror(errno));
@@ -162,8 +231,20 @@ Result<int> Listener::PollAccept(int timeout_ms) {
   return fd;
 }
 
+void Listener::Wake() {
+  if (!wake_wr_.valid()) return;
+  const char token = 'w';
+  ssize_t rc;
+  do {
+    rc = ::write(wake_wr_.get(), &token, 1);
+  } while (rc < 0 && errno == EINTR);
+  // A full pipe means a wake is already pending — nothing more to do.
+}
+
 void Listener::Close() {
   fd_.reset();
+  wake_rd_.reset();
+  wake_wr_.reset();
   port_ = 0;
 }
 
@@ -268,20 +349,95 @@ Status CheckCrc(const std::string& payload, uint32_t wire_crc) {
 }  // namespace
 
 Status WriteFrame(int fd, const std::string& payload) {
-  const std::string framed = EncodeFrame(payload);
-  return SendAll(fd, framed.data(), framed.size());
+  if (fd < 0) return Status::Internal("net::WriteFrame: bad fd");
+  lockdep::AssertNoLocksHeld("net.send");
+  // Gather-write header + payload + CRC footer straight from the caller's
+  // buffer. Going through EncodeFrame would allocate and copy the whole
+  // frame (32KB for a dense pull) on every RPC in both directions.
+  char head[8];
+  StoreU32(head, kFrameMagic);
+  StoreU32(head + 4, static_cast<uint32_t>(payload.size()));
+  char foot[4];
+  StoreU32(foot, Crc32(payload.data(), payload.size()));
+  iovec iov[3] = {
+      {head, sizeof(head)},
+      {const_cast<char*>(payload.data()), payload.size()},
+      {foot, sizeof(foot)},
+  };
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 3;
+  size_t idx = 0;  // first iovec with bytes still unsent
+  while (idx < 3) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::sendmsg(fd, &msg, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO (SetIoTimeout) expired: the peer stopped draining.
+        return Status::Unavailable("net::WriteFrame: i/o deadline exceeded");
+      }
+      return Status::Unavailable(std::string("net::WriteFrame: ") +
+                                 std::strerror(errno));
+    }
+    size_t left = static_cast<size_t>(n);
+    while (idx < 3 && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      iov[idx].iov_len = 0;
+      ++idx;
+    }
+    if (idx < 3) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = 3 - idx;
+  }
+  return Status::OK();
 }
 
 Result<std::string> ReadFrame(int fd, size_t max_payload) {
+  return ReadFrame(fd, max_payload, nullptr);
+}
+
+Result<std::string> ReadFrame(int fd, size_t max_payload, bool* clean_close) {
+  if (clean_close != nullptr) *clean_close = false;
   char header[8];
-  MAMDR_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header)));
+  if (fd < 0) return Status::Internal("net::ReadFrame: bad fd");
+  // First byte read by hand so EOF *at the frame boundary* is
+  // distinguishable from EOF mid-frame: a persistent connection's peer
+  // hanging up between requests is a clean session end, not damage.
+  lockdep::AssertNoLocksHeld("net.recv");
+  for (;;) {
+    const ssize_t n = ::recv(fd, header, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("net::ReadFrame: i/o deadline exceeded");
+      }
+      return Status::Unavailable(std::string("net::ReadFrame: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      if (clean_close != nullptr) *clean_close = true;
+      return Status::Unavailable("net::ReadFrame: peer closed");
+    }
+    break;
+  }
+  MAMDR_RETURN_IF_ERROR(RecvAll(fd, header + 1, sizeof(header) - 1));
   MAMDR_ASSIGN_OR_RETURN(const uint32_t len,
                          CheckHeader(header, max_payload));
-  std::string payload(len, '\0');
-  if (len > 0) MAMDR_RETURN_IF_ERROR(RecvAll(fd, payload.data(), len));
-  char footer[4];
-  MAMDR_RETURN_IF_ERROR(RecvAll(fd, footer, sizeof(footer)));
-  MAMDR_RETURN_IF_ERROR(CheckCrc(payload, GetU32(footer)));
+  // Payload and CRC footer arrive in one RecvAll; shrinking the string by
+  // four bytes afterwards keeps the capacity and avoids a second syscall
+  // round on every frame.
+  std::string payload(static_cast<size_t>(len) + 4, '\0');
+  MAMDR_RETURN_IF_ERROR(RecvAll(fd, payload.data(), payload.size()));
+  const uint32_t wire_crc = GetU32(payload.data() + len);
+  payload.resize(len);
+  MAMDR_RETURN_IF_ERROR(CheckCrc(payload, wire_crc));
   return payload;
 }
 

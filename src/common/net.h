@@ -78,7 +78,24 @@ Result<size_t> RecvSome(int fd, void* buf, size_t cap);
 /// this fd to return. The watchdog half of every stall guard.
 void ShutdownFd(int fd);
 
-/// Loopback TCP listener with a stoppable poll-accept loop.
+/// Arm a kernel-level I/O deadline on `fd` (SO_RCVTIMEO + SO_SNDTIMEO):
+/// a recv()/send() that makes no progress for `timeout_us` fails, which
+/// RecvAll/SendAll surface as the retryable "i/o deadline exceeded"
+/// kUnavailable. This is how a server session bounds a stalled peer
+/// without a watchdog thread per connection. 0 disables the deadline.
+Status SetIoTimeout(int fd, int64_t timeout_us);
+
+/// Cheap liveness probe for an *idle* connection about to be reused
+/// (MSG_PEEK | MSG_DONTWAIT, never blocks): true when the peer has neither
+/// closed nor sent unexpected bytes. On a request/response connection with
+/// no RPC in flight, readable bytes mean protocol desync — as unusable as
+/// a closed peer, so both report false and the caller redials. A false
+/// *positive* (peer closed, FIN not yet delivered) is possible; callers
+/// must still treat a failed first use of a reused connection as "stale,
+/// redial", not as a hard error.
+bool ProbeConnAlive(int fd);
+
+/// Loopback TCP listener with a stoppable, wakeable accept loop.
 class Listener {
  public:
   Listener() = default;
@@ -87,15 +104,25 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listen.
+  /// Also opens the self-pipe that makes Wake() work.
   Status Bind(int port);
 
-  /// Wait up to `timeout_ms` for a connection. Returns the accepted fd;
-  /// -1 on timeout or a transient accept failure (EINTR, ECONNABORTED) —
-  /// the caller's loop just re-polls, which is where it checks its stop
-  /// flag; a non-OK Status means the listener itself is broken.
+  /// Wait up to `timeout_ms` (-1 = indefinitely) for a connection. Returns
+  /// the accepted fd; -1 on timeout, Wake(), or a transient accept failure
+  /// (EINTR, ECONNABORTED) — the caller's loop just re-polls, which is
+  /// where it checks its stop flag; a non-OK Status means the listener
+  /// itself is broken. With Wake() available, accept loops should block
+  /// with -1 instead of burning a short poll period.
   Result<int> PollAccept(int timeout_ms);
 
-  /// Close the listening socket. Idempotent.
+  /// Interrupt a concurrent PollAccept immediately (self-pipe trick):
+  /// the blocked call returns -1 without waiting out its timeout. Safe
+  /// from any thread, any number of times; wakes the next PollAccept if
+  /// none is in flight. This is how Stop() paths avoid both polling churn
+  /// and a full timeout of shutdown latency.
+  void Wake();
+
+  /// Close the listening socket and the wake pipe. Idempotent.
   void Close();
 
   /// The bound port (resolved when Bind(0) was used); 0 when not bound.
@@ -104,6 +131,8 @@ class Listener {
 
  private:
   ScopedFd fd_;
+  ScopedFd wake_rd_;  // self-pipe read end, polled alongside fd_
+  ScopedFd wake_wr_;  // self-pipe write end, written by Wake()
   int port_ = 0;
 };
 
@@ -141,6 +170,14 @@ Status WriteFrame(int fd, const std::string& payload);
 /// must not OOM the server). Truncation -> kUnavailable; bad magic,
 /// oversize length, or CRC mismatch -> kInvalidArgument.
 Result<std::string> ReadFrame(int fd, size_t max_payload);
+
+/// Like ReadFrame, but on failure also reports *where* the stream ended:
+/// `*clean_close` is set true iff the peer closed at a frame boundary
+/// (EOF before any header byte) — the normal end of a persistent
+/// connection's session, which servers must not count as a bad request.
+/// Any other failure (mid-frame EOF, deadline, corruption) leaves it
+/// false.
+Result<std::string> ReadFrame(int fd, size_t max_payload, bool* clean_close);
 
 /// Pure-buffer encoder/decoder for the same layout, so the wire-format
 /// corruption matrix can run without sockets. DecodeFrame consumes exactly

@@ -1,0 +1,85 @@
+#include "ps/net/connection_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mamdr {
+namespace ps {
+namespace net {
+
+namespace cnet = ::mamdr::net;
+
+ConnectionPool::ConnectionPool(int num_shards) {
+  MAMDR_CHECK_GT(num_shards, 0);
+  MutexLock lock(&mu_);
+  slots_.resize(static_cast<size_t>(num_shards));
+}
+
+Result<ConnectionPool::Lease> ConnectionPool::Acquire(int shard, int port) {
+  MAMDR_CHECK_GE(shard, 0);
+  if (port <= 0) {
+    return Status::Unavailable("connection pool: shard " +
+                               std::to_string(shard) + " has no endpoint");
+  }
+  Lease lease;
+  lease.shard = shard;
+  lease.port = port;
+  {
+    MutexLock lock(&mu_);
+    MAMDR_CHECK_LT(static_cast<size_t>(shard), slots_.size());
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.fd.valid()) {
+      if (slot.port == port && cnet::ProbeConnAlive(slot.fd.get())) {
+        lease.fd = std::move(slot.fd);
+        lease.reused = true;
+        slot.port = 0;
+        ++stats_.reuses;
+        return lease;
+      }
+      // Wrong port (shard respawned) or probe failed: unusable.
+      slot.fd.reset();
+      slot.port = 0;
+      ++stats_.stale_drops;
+    }
+  }
+  // Fresh dial, outside the lock: ConnectLoopback blocks on the handshake
+  // and asserts no locks are held.
+  Result<int> conn = cnet::ConnectLoopback(port);
+  if (!conn.ok()) return conn.status();
+  lease.fd.reset(conn.value());
+  lease.reused = false;
+  MutexLock lock(&mu_);
+  ++stats_.dials;
+  return lease;
+}
+
+void ConnectionPool::Release(Lease lease, bool healthy) {
+  if (!lease.fd.valid()) return;
+  MutexLock lock(&mu_);
+  if (!healthy) {
+    ++stats_.poisoned;
+    return;  // lease.fd closes on scope exit
+  }
+  MAMDR_CHECK_LT(static_cast<size_t>(lease.shard), slots_.size());
+  Slot& slot = slots_[static_cast<size_t>(lease.shard)];
+  slot.fd = std::move(lease.fd);
+  slot.port = lease.port;
+}
+
+void ConnectionPool::CloseAll() {
+  MutexLock lock(&mu_);
+  for (Slot& slot : slots_) {
+    slot.fd.reset();
+    slot.port = 0;
+  }
+}
+
+ConnectionPool::Stats ConnectionPool::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace ps
+}  // namespace mamdr

@@ -46,7 +46,28 @@ Status FaultProxy::Start() {
 void FaultProxy::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  listener_.Wake();  // event-driven: pops PollAccept(-1) immediately
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Cut every live session so its thread falls out of any blocked relay
+  // I/O, then join. The accept thread is gone, so sessions_ gains no new
+  // entries; fds close only under sessions_mu_, so these shutdowns can
+  // never hit a recycled fd number.
+  std::vector<Session*> to_join;
+  {
+    MutexLock lock(&sessions_mu_);
+    for (const std::unique_ptr<Session>& s : sessions_) {
+      cnet::ShutdownFd(s->client.get());
+      cnet::ShutdownFd(s->upstream.get());
+      to_join.push_back(s.get());
+    }
+  }
+  for (Session* s : to_join) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  {
+    MutexLock lock(&sessions_mu_);
+    sessions_.clear();
+  }
   listener_.Close();
   port_ = 0;
   running_.store(false, std::memory_order_release);
@@ -59,7 +80,7 @@ FaultProxyStats FaultProxy::stats() const {
 
 void FaultProxy::AcceptLoop() {
   for (;;) {
-    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/-1);
     if (stopping_.load(std::memory_order_acquire)) {
       if (accepted.ok() && accepted.value() >= 0) {
         cnet::ScopedFd drop(accepted.value());
@@ -68,14 +89,49 @@ void FaultProxy::AcceptLoop() {
     }
     if (!accepted.ok()) return;
     if (accepted.value() < 0) continue;
-    cnet::ScopedFd fd(accepted.value());
-    HandleConnection(fd.get());
+    ReapFinishedSessions();
+    auto owned = std::make_unique<Session>();
+    Session* s = owned.get();
+    s->client.reset(accepted.value());
+    {
+      MutexLock lock(&sessions_mu_);
+      sessions_.push_back(std::move(owned));
+    }
+    s->thread = std::thread([this, s] { RunSession(s); });
   }
 }
 
-Result<std::string> FaultProxy::ReadRawFrame(int fd) {
+void FaultProxy::ReapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    MutexLock lock(&sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Session>& s : finished) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+Result<std::string> FaultProxy::ReadRawFrame(int fd, bool* clean_close) {
+  if (clean_close != nullptr) *clean_close = false;
   std::string frame(cnet::kFrameOverhead - 4, '\0');  // magic + length
-  MAMDR_RETURN_IF_ERROR(cnet::RecvAll(fd, frame.data(), frame.size()));
+  // First byte by hand: EOF at a frame boundary is the peer ending its
+  // session (pooled connection dropped), not a cut.
+  MAMDR_ASSIGN_OR_RETURN(const size_t first,
+                         cnet::RecvSome(fd, frame.data(), 1));
+  if (first == 0) {
+    if (clean_close != nullptr) *clean_close = true;
+    return Status::Unavailable("proxy: peer closed");
+  }
+  MAMDR_RETURN_IF_ERROR(
+      cnet::RecvAll(fd, frame.data() + 1, frame.size() - 1));
   if (GetU32Le(frame.data()) != cnet::kFrameMagic) {
     return Status::InvalidArgument("proxy: bad frame magic");
   }
@@ -89,43 +145,71 @@ Result<std::string> FaultProxy::ReadRawFrame(int fd) {
   return frame;
 }
 
-void FaultProxy::HandleConnection(int client_fd) {
-  // Fixed draw order per connection: the damage schedule is a pure function
-  // of (seed, connection sequence number), independent of timing.
-  bool refuse, cut_req, corrupt_req, cut_resp, corrupt_resp, delay;
-  uint64_t mangle_draw;
+void FaultProxy::RunSession(Session* s) {
+  bool refuse;
   {
     MutexLock lock(&mu_);
     ++stats_.connections;
     refuse = rng_.Bernoulli(config_.refuse_prob);
+    if (refuse) ++stats_.refused;
+  }
+  if (!refuse) {
+    // Refused sessions close without reading; everything else relays
+    // exchange after exchange until a fault cuts or a peer hangs up.
+    while (RelayExchange(s)) {
+    }
+  }
+  {
+    MutexLock lock(&sessions_mu_);
+    s->client.reset();
+    s->upstream.reset();
+  }
+  s->done.store(true, std::memory_order_release);
+}
+
+bool FaultProxy::RelayExchange(Session* s) {
+  bool clean_close = false;
+  Result<std::string> request = ReadRawFrame(s->client.get(), &clean_close);
+  if (!request.ok()) {
+    if (!clean_close) {
+      MutexLock lock(&mu_);
+      ++stats_.relay_errors;
+    }
+    return false;
+  }
+  std::string req = std::move(request).value();
+
+  // Fixed draw order per exchange, drawn only after a full request frame
+  // arrived: the damage schedule is a pure function of (seed, session
+  // sequence, exchange sequence), independent of timing.
+  bool cut_req, corrupt_req, cut_resp, corrupt_resp, delay;
+  uint64_t mangle_draw;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.exchanges;
     cut_req = rng_.Bernoulli(config_.cut_request_prob);
     corrupt_req = rng_.Bernoulli(config_.corrupt_request_prob);
     cut_resp = rng_.Bernoulli(config_.cut_response_prob);
     corrupt_resp = rng_.Bernoulli(config_.corrupt_response_prob);
     delay = rng_.Bernoulli(config_.latency_prob);
     mangle_draw = rng_.NextU64();  // byte position for cuts/flips
-    if (refuse) ++stats_.refused;
   }
-  if (refuse) return;  // destructor closes: connection refused mid-handshake
 
-  Result<std::string> request = ReadRawFrame(client_fd);
-  if (!request.ok()) {
-    MutexLock lock(&mu_);
-    ++stats_.relay_errors;
-    return;
+  if (!s->upstream.valid()) {
+    // Lazy per-session upstream dial, re-resolving the target port: a
+    // shard respawned on a fresh port is found by the next session.
+    const int port = target_port_();
+    Result<int> conn =
+        port > 0 ? cnet::ConnectLoopback(port)
+                 : Result<int>(Status::Unavailable("proxy target down"));
+    if (!conn.ok()) {
+      MutexLock lock(&mu_);
+      ++stats_.relay_errors;
+      return false;
+    }
+    MutexLock lock(&sessions_mu_);
+    s->upstream.reset(conn.value());
   }
-  std::string req = std::move(request).value();
-
-  const int port = target_port_();
-  Result<int> conn =
-      port > 0 ? cnet::ConnectLoopback(port)
-               : Result<int>(Status::Unavailable("proxy target down"));
-  if (!conn.ok()) {
-    MutexLock lock(&mu_);
-    ++stats_.relay_errors;
-    return;
-  }
-  cnet::ScopedFd server_fd(conn.value());
 
   if (corrupt_req) {
     req[mangle_draw % req.size()] ^= 0x20;
@@ -133,25 +217,26 @@ void FaultProxy::HandleConnection(int client_fd) {
     ++stats_.corrupted_requests;
   }
   if (cut_req) {
-    // Forward a strict prefix, then vanish: the server sees a connection
-    // cut mid-message, the client an unanswered request.
+    // Forward a strict prefix, then end the session: the server sees a
+    // connection cut mid-message, the client an unanswered request on a
+    // now-dead connection.
     const size_t keep = mangle_draw % req.size();
-    (void)cnet::SendAll(server_fd.get(), req.data(), keep);
+    (void)cnet::SendAll(s->upstream.get(), req.data(), keep);
     MutexLock lock(&mu_);
     ++stats_.cut_requests;
-    return;
+    return false;
   }
-  if (!cnet::SendAll(server_fd.get(), req.data(), req.size()).ok()) {
+  if (!cnet::SendAll(s->upstream.get(), req.data(), req.size()).ok()) {
     MutexLock lock(&mu_);
     ++stats_.relay_errors;
-    return;
+    return false;
   }
 
-  Result<std::string> response = ReadRawFrame(server_fd.get());
+  Result<std::string> response = ReadRawFrame(s->upstream.get());
   if (!response.ok()) {
     MutexLock lock(&mu_);
     ++stats_.relay_errors;
-    return;
+    return false;
   }
   std::string resp = std::move(response).value();
 
@@ -172,12 +257,12 @@ void FaultProxy::HandleConnection(int client_fd) {
   }
   if (cut_resp) {
     const size_t keep = mangle_draw % resp.size();
-    (void)cnet::SendAll(client_fd, resp.data(), keep);
+    (void)cnet::SendAll(s->client.get(), resp.data(), keep);
     MutexLock lock(&mu_);
     ++stats_.cut_responses;
-    return;
+    return false;
   }
-  (void)cnet::SendAll(client_fd, resp.data(), resp.size());
+  return cnet::SendAll(s->client.get(), resp.data(), resp.size()).ok();
 }
 
 }  // namespace net

@@ -46,7 +46,8 @@ NetPsClient::NetPsClient(NetPsClientConfig config, ShardDirectory* directory,
     : config_(config),
       ring_(config.num_shards, config.vnodes_per_shard, config.ring_seed),
       directory_(directory),
-      is_embedding_(std::move(is_embedding)) {
+      is_embedding_(std::move(is_embedding)),
+      pool_(config.num_shards) {
   MAMDR_CHECK(directory_ != nullptr);
   MAMDR_CHECK_EQ(directory_->num_shards(), config_.num_shards);
   MAMDR_CHECK_EQ(layout.size(), is_embedding_.size());
@@ -129,7 +130,7 @@ void NetPsClient::WatchdogLoop() {
       // fails with the torn-connection kUnavailable and the retry layer
       // takes over. shutdown(2) does not block, so calling it under wd_mu_
       // is safe.
-      cnet::ShutdownFd(wd_fd_);
+      for (const int fd : wd_fds_) cnet::ShutdownFd(fd);
       wd_fired_ = true;
       ++wd_cuts_;
       deadline_cut_counter_->Add();
@@ -140,12 +141,14 @@ void NetPsClient::WatchdogLoop() {
   }
 }
 
-void NetPsClient::ArmWatchdog(int fd) {
+void NetPsClient::ArmWatchdog(int fd) { ArmWatchdog(std::vector<int>{fd}); }
+
+void NetPsClient::ArmWatchdog(std::vector<int> fds) {
   if (config_.rpc_deadline_us <= 0) return;
   MutexLock lock(&wd_mu_);
-  // One in-flight RPC per client: the watchdog tracks a single fd.
+  // One in-flight attempt per client: the watchdog tracks one fd set.
   MAMDR_CHECK(!wd_active_);
-  wd_fd_ = fd;
+  wd_fds_ = std::move(fds);
   wd_fired_ = false;
   wd_active_ = true;
   ++wd_generation_;
@@ -156,7 +159,7 @@ bool NetPsClient::DisarmWatchdog() {
   if (config_.rpc_deadline_us <= 0) return false;
   MutexLock lock(&wd_mu_);
   wd_active_ = false;
-  wd_fd_ = -1;
+  wd_fds_.clear();
   ++wd_generation_;
   const bool fired = wd_fired_;
   wd_fired_ = false;
@@ -166,37 +169,92 @@ bool NetPsClient::DisarmWatchdog() {
 
 // --- Transport -------------------------------------------------------------
 
-Result<std::string> NetPsClient::CallOnce(int shard,
-                                          const std::string& request,
-                                          obs::Histogram* rpc_us) {
+Status NetPsClient::AttemptOnFd(int fd,
+                                const std::vector<const std::string*>& requests,
+                                std::vector<std::string>* responses,
+                                bool* cut) {
+  ArmWatchdog(fd);
+  // Pipelined: every request frame goes out before any response is read,
+  // so a batch costs one round trip instead of one per frame.
+  Status st = Status::OK();
+  for (const std::string* request : requests) {
+    st = cnet::WriteFrame(fd, *request);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) {
+    responses->clear();
+    responses->reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      Result<std::string> r = cnet::ReadFrame(fd, config_.max_frame_bytes);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      responses->push_back(std::move(r).value());
+    }
+  }
+  *cut = DisarmWatchdog();
+  return st;
+}
+
+Result<std::vector<std::string>> NetPsClient::CallFramesOnce(
+    int shard, const std::vector<const std::string*>& requests,
+    obs::Histogram* rpc_us) {
   const int64_t start_us = obs::MonotonicMicros();
   const int port = directory_->GetPort(shard);
   if (port == 0) {
     return Status::Unavailable("shard " + std::to_string(shard) +
                                " is down");
   }
-  Result<int> conn = cnet::ConnectLoopback(port);
-  if (!conn.ok()) return conn.status();
-  cnet::ScopedFd fd(conn.value());
 
-  ArmWatchdog(fd.get());
-  Status sent = cnet::WriteFrame(fd.get(), request);
-  Result<std::string> response =
-      sent.ok() ? cnet::ReadFrame(fd.get(), config_.max_frame_bytes)
-                : Result<std::string>(sent);
-  const bool cut = DisarmWatchdog();
+  std::vector<std::string> responses;
+  Status st;
+  bool cut = false;
+  if (config_.pool_connections) {
+    Result<ConnectionPool::Lease> acquired = pool_.Acquire(shard, port);
+    if (!acquired.ok()) return acquired.status();
+    ConnectionPool::Lease lease = std::move(acquired).value();
+    const bool was_reused = lease.reused;
+    st = AttemptOnFd(lease.fd.get(), requests, &responses, &cut);
+    pool_.Release(std::move(lease), /*healthy=*/st.ok());
+    if (!st.ok() && was_reused && !cut) {
+      // A reused connection that fails on first use may simply have gone
+      // stale in the cache (server idle-close whose FIN raced the probe).
+      // Redial fresh and re-run the attempt once WITHOUT charging the
+      // retry budget: both outcomes of that race then consume identical
+      // retry schedules, which keeps same-seed chaos runs bit-identical.
+      // Like any transport retry, this can double-apply a push whose
+      // response was lost — the bounded loss class ARCHITECTURE.md
+      // documents for retried pushes. A watchdog cut is excluded: the
+      // deadline already spent this attempt's time budget.
+      Result<ConnectionPool::Lease> fresh =
+          pool_.Acquire(shard, directory_->GetPort(shard));
+      if (!fresh.ok()) {
+        st = fresh.status();
+      } else {
+        ConnectionPool::Lease retry_lease = std::move(fresh).value();
+        st = AttemptOnFd(retry_lease.fd.get(), requests, &responses, &cut);
+        pool_.Release(std::move(retry_lease), /*healthy=*/st.ok());
+      }
+    }
+  } else {
+    // Connect-per-op: the PR 8 transport, kept as the bench baseline.
+    Result<int> conn = cnet::ConnectLoopback(port);
+    if (!conn.ok()) return conn.status();
+    cnet::ScopedFd fd(conn.value());
+    st = AttemptOnFd(fd.get(), requests, &responses, &cut);
+  }
 
   if (rpc_us != nullptr) {
     rpc_us->Observe(static_cast<double>(obs::MonotonicMicros() - start_us));
   }
-  if (!response.ok() && cut) {
+  if (!st.ok() && cut) {
     // The failure was manufactured by our own deadline, not the peer; say
     // so, and stay kUnavailable so the retry layer re-attempts.
     return Status::Unavailable("shard " + std::to_string(shard) +
                                " rpc deadline exceeded (connection cut)");
   }
-  if (!response.ok() &&
-      response.status().code() == StatusCode::kInvalidArgument) {
+  if (!st.ok() && st.code() == StatusCode::kInvalidArgument) {
     // A response frame that fails CRC/framing was damaged in transit, so
     // map it to the retryable code. The request may already have applied —
     // a retried push can then double-apply, the same bounded loss class as
@@ -204,10 +262,18 @@ Result<std::string> NetPsClient::CallOnce(int shard,
     // decoded from a valid frame is a real rejection and passes through
     // Call() untouched.
     return Status::Unavailable("shard " + std::to_string(shard) +
-                               " response frame damaged: " +
-                               response.status().message());
+                               " response frame damaged: " + st.message());
   }
-  return response;
+  if (!st.ok()) return st;
+  return responses;
+}
+
+Result<std::string> NetPsClient::CallOnce(int shard,
+                                          const std::string& request,
+                                          obs::Histogram* rpc_us) {
+  MAMDR_ASSIGN_OR_RETURN(std::vector<std::string> responses,
+                         CallFramesOnce(shard, {&request}, rpc_us));
+  return std::move(responses[0]);
 }
 
 Result<std::string> NetPsClient::Call(int shard, PsOp op, std::string body,
@@ -233,6 +299,133 @@ Result<std::string> NetPsClient::Call(int shard, PsOp op, std::string body,
       what);
   if (!st.ok()) return st;
   return ok_body;
+}
+
+Status NetPsClient::CallBatch(int shard,
+                              const std::vector<ShardRequest>& requests,
+                              std::vector<std::string>* ok_bodies,
+                              const char* what) {
+  if (requests.empty()) {
+    ok_bodies->clear();
+    return Status::OK();
+  }
+  std::vector<std::string> framed;
+  framed.reserve(requests.size());
+  for (const ShardRequest& req : requests) {
+    PayloadWriter w;
+    w.PutU8(static_cast<uint8_t>(req.op));
+    framed.push_back(w.Take() + req.body);
+  }
+  std::vector<const std::string*> frame_ptrs;
+  frame_ptrs.reserve(framed.size());
+  for (const std::string& f : framed) frame_ptrs.push_back(&f);
+  // The batch's latency lands in the first op's histogram: a pipelined
+  // batch is one wire round trip, and splitting it per op would count the
+  // same elapsed time N times.
+  obs::Histogram* rpc_us =
+      rpc_us_by_op_[static_cast<uint8_t>(requests[0].op)];
+
+  return retry_[static_cast<size_t>(shard)]->Run(
+      [&]() -> Status {
+        Result<std::vector<std::string>> responses =
+            CallFramesOnce(shard, frame_ptrs, rpc_us);
+        MAMDR_RETURN_IF_ERROR(responses.status());
+        ok_bodies->clear();
+        ok_bodies->reserve(responses.value().size());
+        for (const std::string& resp : responses.value()) {
+          PayloadReader r(resp);
+          // Any non-OK response fails (and retries) the whole batch; a
+          // remote kUnavailable mid-failover stays retryable.
+          MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
+          ok_bodies->push_back(resp.substr(resp.size() - r.remaining()));
+        }
+        return Status::OK();
+      },
+      what);
+}
+
+Status NetPsClient::FanoutCall(const std::vector<int>& shards, PsOp op,
+                               std::vector<std::string> bodies,
+                               std::vector<std::string>* ok_bodies,
+                               const char* what) {
+  MAMDR_CHECK_EQ(shards.size(), bodies.size());
+  const size_t n = shards.size();
+  ok_bodies->assign(n, std::string());
+  std::vector<bool> done(n, false);
+  if (config_.pool_connections && n > 1) {
+    const int64_t start_us = obs::MonotonicMicros();
+    std::vector<std::string> framed(n);
+    for (size_t i = 0; i < n; ++i) {
+      PayloadWriter w;
+      w.PutU8(static_cast<uint8_t>(op));
+      framed[i] = w.Take() + bodies[i];
+    }
+    // One pooled connection per target, acquired in shard order. A shard
+    // that is down or refuses the dial stays on the serial path below.
+    struct InFlight {
+      size_t i;
+      ConnectionPool::Lease lease;
+      bool sent = false;
+      bool clean = false;  // response frame arrived undamaged
+    };
+    std::vector<InFlight> inflight;
+    inflight.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const int port = directory_->GetPort(shards[i]);
+      if (port == 0) continue;
+      Result<ConnectionPool::Lease> acquired = pool_.Acquire(shards[i], port);
+      if (!acquired.ok()) continue;
+      inflight.push_back({i, std::move(acquired).value()});
+    }
+    // One watchdog budget covers the whole pipelined attempt; on expiry
+    // every in-flight connection is cut and the affected shards retry
+    // serially, each under its own budget.
+    std::vector<int> fds;
+    fds.reserve(inflight.size());
+    for (const InFlight& f : inflight) fds.push_back(f.lease.fd.get());
+    ArmWatchdog(std::move(fds));
+    // Write phase: every shard's request goes out before any response is
+    // read, so the fan-out costs one round trip instead of one per shard.
+    for (InFlight& f : inflight) {
+      f.sent = cnet::WriteFrame(f.lease.fd.get(), framed[f.i]).ok();
+    }
+    // Read phase, same order. A valid frame whose remote status is non-OK
+    // leaves the connection healthy (the exchange completed) but sends the
+    // shard to the serial path, which owns retryability and error mapping.
+    for (InFlight& f : inflight) {
+      if (!f.sent) continue;
+      Result<std::string> resp =
+          cnet::ReadFrame(f.lease.fd.get(), config_.max_frame_bytes);
+      if (!resp.ok()) continue;
+      f.clean = true;
+      PayloadReader r(resp.value());
+      if (!DecodeResponseHeader(&r).ok()) continue;
+      (*ok_bodies)[f.i] =
+          resp.value().substr(resp.value().size() - r.remaining());
+      done[f.i] = true;
+    }
+    DisarmWatchdog();
+    for (InFlight& f : inflight) {
+      pool_.Release(std::move(f.lease), /*healthy=*/f.sent && f.clean);
+    }
+    obs::Histogram* rpc_us = rpc_us_by_op_[static_cast<uint8_t>(op)];
+    if (rpc_us != nullptr) {
+      rpc_us->Observe(static_cast<double>(obs::MonotonicMicros() - start_us));
+    }
+  }
+  // Serial pass: whatever the pipelined phase did not finish — every shard
+  // in connect-per-op mode, a single target, or a shard whose exchange
+  // failed. Call() owns the retry budget, stale-redial, and error mapping,
+  // so fallback failure semantics are exactly the single-shard path's. A
+  // shard that answered with a remote error is re-asked once here; PS ops
+  // are idempotent under validation errors and a retried push is the same
+  // bounded loss class as any transport retry.
+  for (size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    MAMDR_ASSIGN_OR_RETURN((*ok_bodies)[i],
+                           Call(shards[i], op, std::move(bodies[i]), what));
+  }
+  return Status::OK();
 }
 
 // --- Validation ------------------------------------------------------------
@@ -310,6 +503,8 @@ Status NetPsClient::PullDenseFanout(std::vector<Tensor>* out) {
         "ps client: pull destination has " + std::to_string(out->size()) +
         " entries, layout has " + std::to_string(shapes_.size()));
   }
+  std::vector<int> shards;
+  std::vector<std::string> bodies;
   for (int s = 0; s < config_.num_shards; ++s) {
     const std::vector<uint32_t>& idxs = dense_by_shard_[static_cast<size_t>(s)];
     if (idxs.empty()) continue;
@@ -320,27 +515,59 @@ Status NetPsClient::PullDenseFanout(std::vector<Tensor>* out) {
     PayloadWriter w;
     w.PutU32(static_cast<uint32_t>(idxs.size()));
     for (const uint32_t idx : idxs) w.PutU32(idx);
-    MAMDR_ASSIGN_OR_RETURN(
-        const std::string body,
-        Call(s, PsOp::kPullParams, w.Take(), "ps.PullDense"));
-    PayloadReader r(body);
-    for (const uint32_t want : idxs) {
-      uint32_t idx = 0;
-      uint64_t size = 0;
-      MAMDR_RETURN_IF_ERROR(r.GetU32(&idx));
-      MAMDR_RETURN_IF_ERROR(r.GetU64(&size));
-      if (idx != want ||
-          size != static_cast<uint64_t>(NumElements(shapes_[idx]))) {
-        return Status::InvalidArgument(
-            "pull_params: response entry mismatch for param " +
-            std::to_string(want));
-      }
-      MAMDR_RETURN_IF_ERROR(
-          r.GetF32Array((*out)[idx].data(), static_cast<size_t>(size)));
-    }
-    MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
+    shards.push_back(s);
+    bodies.push_back(w.Take());
+  }
+  std::vector<std::string> ok_bodies;
+  MAMDR_RETURN_IF_ERROR(FanoutCall(shards, PsOp::kPullParams,
+                                   std::move(bodies), &ok_bodies,
+                                   "ps.PullDense"));
+  for (size_t k = 0; k < shards.size(); ++k) {
+    MAMDR_RETURN_IF_ERROR(DecodePullParamsBody(
+        ok_bodies[k], dense_by_shard_[static_cast<size_t>(shards[k])], out));
   }
   return Status::OK();
+}
+
+Status NetPsClient::DecodePullParamsBody(const std::string& body,
+                                         const std::vector<uint32_t>& idxs,
+                                         std::vector<Tensor>* out) const {
+  PayloadReader r(body);
+  for (const uint32_t want : idxs) {
+    uint32_t idx = 0;
+    uint64_t size = 0;
+    MAMDR_RETURN_IF_ERROR(r.GetU32(&idx));
+    MAMDR_RETURN_IF_ERROR(r.GetU64(&size));
+    if (idx != want ||
+        size != static_cast<uint64_t>(NumElements(shapes_[idx]))) {
+      return Status::InvalidArgument(
+          "pull_params: response entry mismatch for param " +
+          std::to_string(want));
+    }
+    MAMDR_RETURN_IF_ERROR(
+        r.GetF32Array((*out)[idx].data(), static_cast<size_t>(size)));
+  }
+  return r.ExpectEnd();
+}
+
+Status NetPsClient::DecodePullRowsBody(const std::string& body, int64_t idx,
+                                       const std::vector<int64_t>& rows,
+                                       Tensor* into) const {
+  const int64_t dim = shapes_[static_cast<size_t>(idx)][1];
+  PayloadReader r(body);
+  uint64_t got_dim = 0;
+  MAMDR_RETURN_IF_ERROR(r.GetU64(&got_dim));
+  if (got_dim != static_cast<uint64_t>(dim)) {
+    return Status::InvalidArgument(
+        "pull_rows: response dim " + std::to_string(got_dim) +
+        " != table dim " + std::to_string(dim));
+  }
+  float* base = into->data();
+  for (const int64_t row : rows) {
+    MAMDR_RETURN_IF_ERROR(
+        r.GetF32Array(base + row * dim, static_cast<size_t>(dim)));
+  }
+  return r.ExpectEnd();
 }
 
 Status NetPsClient::PullRowsFanout(int64_t idx,
@@ -350,6 +577,8 @@ Status NetPsClient::PullRowsFanout(int64_t idx,
   if (dim <= 0) return Status::OK();  // nothing to move
   const std::vector<std::vector<int64_t>> by_shard =
       GroupRowsByShard(idx, rows);
+  std::vector<int> shards;
+  std::vector<std::string> bodies;
   for (int s = 0; s < config_.num_shards; ++s) {
     const std::vector<int64_t>& shard_rows =
         by_shard[static_cast<size_t>(s)];
@@ -358,22 +587,15 @@ Status NetPsClient::PullRowsFanout(int64_t idx,
     w.PutU32(static_cast<uint32_t>(idx));
     w.PutU64(shard_rows.size());
     for (const int64_t row : shard_rows) w.PutI64(row);
-    MAMDR_ASSIGN_OR_RETURN(const std::string body,
-                           Call(s, PsOp::kPullRows, w.Take(), what));
-    PayloadReader r(body);
-    uint64_t got_dim = 0;
-    MAMDR_RETURN_IF_ERROR(r.GetU64(&got_dim));
-    if (got_dim != static_cast<uint64_t>(dim)) {
-      return Status::InvalidArgument(
-          "pull_rows: response dim " + std::to_string(got_dim) +
-          " != table dim " + std::to_string(dim));
-    }
-    float* base = into->data();
-    for (const int64_t row : shard_rows) {
-      MAMDR_RETURN_IF_ERROR(
-          r.GetF32Array(base + row * dim, static_cast<size_t>(dim)));
-    }
-    MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
+    shards.push_back(s);
+    bodies.push_back(w.Take());
+  }
+  std::vector<std::string> ok_bodies;
+  MAMDR_RETURN_IF_ERROR(
+      FanoutCall(shards, PsOp::kPullRows, std::move(bodies), &ok_bodies, what));
+  for (size_t k = 0; k < shards.size(); ++k) {
+    MAMDR_RETURN_IF_ERROR(DecodePullRowsBody(
+        ok_bodies[k], idx, by_shard[static_cast<size_t>(shards[k])], into));
   }
   return Status::OK();
 }
@@ -405,6 +627,8 @@ Status NetPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
         "ps client: dense delta has " + std::to_string(delta.size()) +
         " entries, layout has " + std::to_string(shapes_.size()));
   }
+  std::vector<int> shards;
+  std::vector<std::string> bodies;
   for (int s = 0; s < config_.num_shards; ++s) {
     std::vector<uint32_t> idxs;
     for (const uint32_t idx : dense_by_shard_[static_cast<size_t>(s)]) {
@@ -422,9 +646,14 @@ Status NetPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
       w.PutF32Array(delta[idx].data(),
                     static_cast<size_t>(delta[idx].size()));
     }
-    MAMDR_ASSIGN_OR_RETURN(
-        const std::string body,
-        Call(s, PsOp::kPushParams, w.Take(), "ps.PushDenseDelta"));
+    shards.push_back(s);
+    bodies.push_back(w.Take());
+  }
+  std::vector<std::string> ok_bodies;
+  MAMDR_RETURN_IF_ERROR(FanoutCall(shards, PsOp::kPushParams,
+                                   std::move(bodies), &ok_bodies,
+                                   "ps.PushDenseDelta"));
+  for (const std::string& body : ok_bodies) {
     if (!body.empty()) {
       return Status::InvalidArgument("push_params: unexpected response body");
     }
@@ -443,6 +672,8 @@ Status NetPsClient::PushRowDeltas(int64_t idx,
   if (dim <= 0) return Status::OK();
   const std::vector<std::vector<int64_t>> by_shard =
       GroupRowsByShard(idx, rows);
+  std::vector<int> shards;
+  std::vector<std::string> bodies;
   for (int s = 0; s < config_.num_shards; ++s) {
     const std::vector<int64_t>& shard_rows =
         by_shard[static_cast<size_t>(s)];
@@ -457,9 +688,13 @@ Status NetPsClient::PushRowDeltas(int64_t idx,
     for (const int64_t row : shard_rows) {
       w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
     }
-    MAMDR_ASSIGN_OR_RETURN(
-        const std::string body,
-        Call(s, PsOp::kPushRows, w.Take(), "ps.PushRowDeltas"));
+    shards.push_back(s);
+    bodies.push_back(w.Take());
+  }
+  std::vector<std::string> ok_bodies;
+  MAMDR_RETURN_IF_ERROR(FanoutCall(shards, PsOp::kPushRows, std::move(bodies),
+                                   &ok_bodies, "ps.PushRowDeltas"));
+  for (const std::string& body : ok_bodies) {
     if (!body.empty()) {
       return Status::InvalidArgument("push_rows: unexpected response body");
     }
@@ -474,15 +709,57 @@ Result<std::vector<Tensor>> NetPsClient::Snapshot() {
   for (const Shape& shape : shapes_) out.emplace_back(shape);
   // Dense tensors come from their owning shards; every embedding row comes
   // from the shard the ring assigns it to, so the assembled snapshot covers
-  // the full layout.
-  MAMDR_RETURN_IF_ERROR(PullDenseFanout(&out));
-  for (size_t i = 0; i < shapes_.size(); ++i) {
-    if (!is_embedding_[i]) continue;
-    const int64_t n = shapes_[i][0];
-    std::vector<int64_t> rows(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
-    MAMDR_RETURN_IF_ERROR(PullRowsFanout(static_cast<int64_t>(i), rows,
-                                         &out[i], "ps.Snapshot"));
+  // the full layout. All of one shard's requests — its dense pull plus one
+  // row pull per embedding table — go out as a single pipelined batch on
+  // one pooled connection, so a snapshot costs one round trip per shard
+  // instead of one per (shard, table).
+  for (int s = 0; s < config_.num_shards; ++s) {
+    std::vector<ShardRequest> requests;
+    // Parallel to `requests`: which table each row request covers
+    // (< 0 marks the dense request) and the rows it asked for.
+    std::vector<int64_t> req_table;
+    std::vector<std::vector<int64_t>> req_rows;
+
+    const std::vector<uint32_t>& idxs = dense_by_shard_[static_cast<size_t>(s)];
+    if (!idxs.empty()) {
+      PayloadWriter w;
+      w.PutU32(static_cast<uint32_t>(idxs.size()));
+      for (const uint32_t idx : idxs) w.PutU32(idx);
+      requests.push_back({PsOp::kPullParams, w.Take()});
+      req_table.push_back(-1);
+      req_rows.emplace_back();
+    }
+    for (size_t i = 0; i < shapes_.size(); ++i) {
+      if (!is_embedding_[i] || shapes_[i][1] <= 0) continue;
+      std::vector<int64_t> shard_rows;
+      for (int64_t r = 0; r < shapes_[i][0]; ++r) {
+        if (ring_.ShardForRow(static_cast<int64_t>(i), r) == s) {
+          shard_rows.push_back(r);
+        }
+      }
+      if (shard_rows.empty()) continue;
+      PayloadWriter w;
+      w.PutU32(static_cast<uint32_t>(i));
+      w.PutU64(shard_rows.size());
+      for (const int64_t row : shard_rows) w.PutI64(row);
+      requests.push_back({PsOp::kPullRows, w.Take()});
+      req_table.push_back(static_cast<int64_t>(i));
+      req_rows.push_back(std::move(shard_rows));
+    }
+    if (requests.empty()) continue;
+
+    std::vector<std::string> bodies;
+    MAMDR_RETURN_IF_ERROR(CallBatch(s, requests, &bodies, "ps.Snapshot"));
+    MAMDR_CHECK_EQ(bodies.size(), requests.size());
+    for (size_t k = 0; k < bodies.size(); ++k) {
+      if (req_table[k] < 0) {
+        MAMDR_RETURN_IF_ERROR(DecodePullParamsBody(bodies[k], idxs, &out));
+      } else {
+        MAMDR_RETURN_IF_ERROR(DecodePullRowsBody(
+            bodies[k], req_table[k], req_rows[k],
+            &out[static_cast<size_t>(req_table[k])]));
+      }
+    }
   }
   return out;
 }
@@ -498,39 +775,32 @@ Status NetPsClient::Restore(const std::vector<Tensor>& params) {
     MAMDR_RETURN_IF_ERROR(
         CheckTableShape(static_cast<int64_t>(i), params[i], "restore entry"));
   }
-  // Dense tensors: assignment push to each owning shard.
+  // One pipelined batch per shard: its dense restore plus one row restore
+  // per embedding table, mirroring Snapshot's batching.
   for (int s = 0; s < config_.num_shards; ++s) {
+    std::vector<ShardRequest> requests;
     const std::vector<uint32_t>& idxs = dense_by_shard_[static_cast<size_t>(s)];
-    if (idxs.empty()) continue;
-    PayloadWriter w;
-    w.PutU32(static_cast<uint32_t>(idxs.size()));
-    for (const uint32_t idx : idxs) {
-      w.PutU32(idx);
-      w.PutU64(static_cast<uint64_t>(params[idx].size()));
-      w.PutF32Array(params[idx].data(),
-                    static_cast<size_t>(params[idx].size()));
+    if (!idxs.empty()) {
+      PayloadWriter w;
+      w.PutU32(static_cast<uint32_t>(idxs.size()));
+      for (const uint32_t idx : idxs) {
+        w.PutU32(idx);
+        w.PutU64(static_cast<uint64_t>(params[idx].size()));
+        w.PutF32Array(params[idx].data(),
+                      static_cast<size_t>(params[idx].size()));
+      }
+      requests.push_back({PsOp::kRestoreParams, w.Take()});
     }
-    MAMDR_ASSIGN_OR_RETURN(
-        const std::string body,
-        Call(s, PsOp::kRestoreParams, w.Take(), "ps.Restore"));
-    if (!body.empty()) {
-      return Status::InvalidArgument(
-          "restore_params: unexpected response body");
-    }
-  }
-  // Embedding tables: assignment row push, grouped by owner.
-  for (size_t i = 0; i < shapes_.size(); ++i) {
-    if (!is_embedding_[i]) continue;
-    const int64_t dim = shapes_[i][1];
-    if (dim <= 0) continue;
-    const int64_t n = shapes_[i][0];
-    std::vector<int64_t> all_rows(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) all_rows[static_cast<size_t>(r)] = r;
-    const std::vector<std::vector<int64_t>> by_shard =
-        GroupRowsByShard(static_cast<int64_t>(i), all_rows);
-    for (int s = 0; s < config_.num_shards; ++s) {
-      const std::vector<int64_t>& shard_rows =
-          by_shard[static_cast<size_t>(s)];
+    for (size_t i = 0; i < shapes_.size(); ++i) {
+      if (!is_embedding_[i]) continue;
+      const int64_t dim = shapes_[i][1];
+      if (dim <= 0) continue;
+      std::vector<int64_t> shard_rows;
+      for (int64_t r = 0; r < shapes_[i][0]; ++r) {
+        if (ring_.ShardForRow(static_cast<int64_t>(i), r) == s) {
+          shard_rows.push_back(r);
+        }
+      }
       if (shard_rows.empty()) continue;
       PayloadWriter w;
       w.PutU32(static_cast<uint32_t>(i));
@@ -541,12 +811,15 @@ Status NetPsClient::Restore(const std::vector<Tensor>& params) {
       for (const int64_t row : shard_rows) {
         w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
       }
-      MAMDR_ASSIGN_OR_RETURN(
-          const std::string body,
-          Call(s, PsOp::kRestoreRows, w.Take(), "ps.Restore"));
+      requests.push_back({PsOp::kRestoreRows, w.Take()});
+    }
+    if (requests.empty()) continue;
+
+    std::vector<std::string> bodies;
+    MAMDR_RETURN_IF_ERROR(CallBatch(s, requests, &bodies, "ps.Restore"));
+    for (const std::string& body : bodies) {
       if (!body.empty()) {
-        return Status::InvalidArgument(
-            "restore_rows: unexpected response body");
+        return Status::InvalidArgument("restore: unexpected response body");
       }
     }
   }

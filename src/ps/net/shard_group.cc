@@ -41,7 +41,8 @@ std::unique_ptr<ShardServer> ShardGroup::MakeShard(int shard) const {
   sc.vnodes_per_shard = config_.vnodes_per_shard;
   sc.ring_seed = config_.ring_seed;
   sc.checkpoint_path = CheckpointPathFor(shard);
-  sc.stall_timeout_us = config_.stall_timeout_us;
+  sc.read_deadline_us = config_.read_deadline_us;
+  sc.num_workers = config_.num_workers;
   sc.max_frame_bytes = config_.max_frame_bytes;
   return std::make_unique<ShardServer>(sc, initial_params_, is_embedding_);
 }

@@ -44,7 +44,10 @@ struct ShardGroupConfig {
   /// disables checkpointing — a respawned shard then restarts from the
   /// initial parameter values.
   std::string checkpoint_dir;
-  int64_t stall_timeout_us = 2'000'000;
+  /// Per-connection kernel read deadline on every shard (<= 0 disables).
+  int64_t read_deadline_us = 2'000'000;
+  /// Connections served in parallel per shard.
+  int num_workers = 4;
   size_t max_frame_bytes = size_t{64} << 20;
 };
 

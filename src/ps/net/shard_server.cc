@@ -73,6 +73,17 @@ Status ShardServer::Start(int port) {
       .gauge(ShardLabel("ps.net.shard.up", config_.shard_id),
              obs::Stability::kRuntime)
       ->Set(1.0);
+  const int num_workers = config_.num_workers > 0 ? config_.num_workers : 1;
+  {
+    MutexLock lock(&queue_mu_);
+    workers_stop_ = false;
+    queue_.clear();
+    active_fds_.assign(static_cast<size_t>(num_workers), -1);
+  }
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -80,7 +91,25 @@ Status ShardServer::Start(int port) {
 void ShardServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  // Event-driven shutdown: the self-pipe pops the accept thread out of its
+  // indefinite PollAccept immediately — no poll period, no accept timeout.
+  listener_.Wake();
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    MutexLock lock(&queue_mu_);
+    workers_stop_ = true;
+    // Cut every in-flight session so a worker blocked in recv/send returns
+    // now instead of waiting out a read deadline; queued-but-unserved
+    // connections are dropped (their clients see a torn connection and
+    // retry against the respawned shard).
+    for (const int fd : active_fds_) cnet::ShutdownFd(fd);
+    queue_.clear();
+    queue_cv_.NotifyAll();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
   listener_.Close();
   port_ = 0;
   running_.store(false, std::memory_order_release);
@@ -92,7 +121,7 @@ void ShardServer::Stop() {
 
 void ShardServer::AcceptLoop() {
   for (;;) {
-    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/-1);
     if (stopping_.load(std::memory_order_acquire)) {
       if (accepted.ok() && accepted.value() >= 0) {
         cnet::ScopedFd drop(accepted.value());
@@ -102,33 +131,61 @@ void ShardServer::AcceptLoop() {
     if (!accepted.ok()) return;  // listener broken; Stop() still joins
     if (accepted.value() < 0) continue;
     cnet::ScopedFd fd(accepted.value());
-    // A peer that freezes mid-request is cut off by the stall guard; the
-    // shard's accept loop can never be wedged by one client.
-    const int raw = fd.get();
-    cnet::RunWithStallGuard(
-        config_.stall_timeout_us, [this, raw] { ServeConnection(raw); },
-        [raw] { cnet::ShutdownFd(raw); });
+    // Arm the kernel read deadline before any worker touches the fd: a
+    // peer that stalls mid-frame costs one worker at most the deadline.
+    if (config_.read_deadline_us > 0) {
+      (void)cnet::SetIoTimeout(fd.get(), config_.read_deadline_us);
+    }
+    MutexLock lock(&queue_mu_);
+    queue_.push_back(std::move(fd));
+    queue_cv_.NotifyOne();
   }
 }
 
-void ShardServer::ServeConnection(int fd) {
-  Result<std::string> request =
-      cnet::ReadFrame(fd, config_.max_frame_bytes);
-  if (!request.ok()) {
+void ShardServer::WorkerLoop(int slot) {
+  for (;;) {
+    cnet::ScopedFd fd;
     {
-      MutexLock lock(&mu_);
-      ++stats_.bad_requests;
+      MutexLock lock(&queue_mu_);
+      while (queue_.empty() && !workers_stop_) queue_cv_.Wait(&queue_mu_);
+      if (workers_stop_) return;
+      fd = std::move(queue_.front());
+      queue_.pop_front();
+      active_fds_[static_cast<size_t>(slot)] = fd.get();
     }
-    // The request never survived the frame layer — cut connection or CRC /
-    // framing damage. Either way the bytes were mangled in transit, not
-    // malformed by the client, so close without answering: the client sees
-    // a torn connection (kUnavailable) and its retry re-sends the intact
-    // request. Only a *decodable* frame carrying a bad message earns a
-    // kInvalidArgument response (HandleRequest below).
-    return;
+    ServeSession(fd.get());
+    {
+      // Deregister and close under the queue lock, so Stop() can never cut
+      // a recycled fd number (see the header comment on queue_mu_).
+      MutexLock lock(&queue_mu_);
+      active_fds_[static_cast<size_t>(slot)] = -1;
+      fd.reset();
+    }
   }
-  const std::string response = HandleRequest(request.value());
-  (void)cnet::WriteFrame(fd, response);
+}
+
+void ShardServer::ServeSession(int fd) {
+  for (;;) {
+    bool clean_close = false;
+    Result<std::string> request =
+        cnet::ReadFrame(fd, config_.max_frame_bytes, &clean_close);
+    if (!request.ok()) {
+      // A peer hanging up between frames is the normal end of a pooled
+      // connection's session — not damage. Anything else (mid-frame cut,
+      // read deadline, CRC/framing corruption) mangled bytes in transit,
+      // so count it and close without answering: the client sees a torn
+      // connection (kUnavailable) and its retry re-sends the intact
+      // request on a fresh connection. Only a *decodable* frame carrying
+      // a bad message earns a kInvalidArgument response (HandleRequest).
+      if (!clean_close) {
+        MutexLock lock(&mu_);
+        ++stats_.bad_requests;
+      }
+      return;
+    }
+    const std::string response = HandleRequest(request.value());
+    if (!cnet::WriteFrame(fd, response).ok()) return;
+  }
 }
 
 std::string ShardServer::HandleRequest(const std::string& request) {

@@ -7,13 +7,17 @@
 // client that means a routing bug or a corrupted-but-CRC-valid message, and
 // either way it must not be silently applied.
 //
-// Transport: one accept thread serves connections sequentially (request
-// rates are a handful of RPCs per worker per batch; sequential handling
-// keeps the server trivially race-free). Each connection carries exactly
-// one framed request and one framed response (common/net frame codec); a
-// client that stalls mid-request is cut off by the same CondVar::WaitFor
-// stall guard the metrics endpoint uses, so a frozen peer can never wedge
-// the shard.
+// Transport (PR 9): one accept thread blocks in PollAccept (woken by the
+// listener's self-pipe at Stop — no poll churn) and hands each accepted
+// connection to a small worker pool, so K clients are served in parallel
+// per shard. A connection is a *session*: the worker loops
+// read-frame / handle / write-frame until the peer closes at a frame
+// boundary (the clean end of a pooled client's connection) or errs. Every
+// accepted fd gets a kernel read deadline (net::SetIoTimeout) before a
+// worker sees it, so a peer that stalls mid-frame costs one worker at
+// most `read_deadline_us` — it can slow the shard, never wedge it.
+// Handlers serialize on the state lock (`ps.net.shard.state`); the worker
+// queue has its own leaf lock class (`ps.net.shard.workers`).
 //
 // Mutation RPCs validate the complete message *before* touching any state,
 // so a push either applies entirely on this shard or not at all (per-shard
@@ -30,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,8 +59,12 @@ struct ShardServerConfig {
   uint64_t ring_seed = 0x6d616d6472u;
   /// Per-shard checkpoint file; "" disables checkpointing.
   std::string checkpoint_path;
-  /// Stall guard for a client that freezes mid-request.
-  int64_t stall_timeout_us = 2'000'000;
+  /// Per-connection kernel I/O deadline: a peer that stalls mid-frame for
+  /// longer than this loses its connection (and the worker moves on).
+  /// <= 0 disables the deadline.
+  int64_t read_deadline_us = 2'000'000;
+  /// Connections served in parallel per shard.
+  int num_workers = 4;
   /// Upper bound on a single frame payload (request or response).
   size_t max_frame_bytes = size_t{64} << 20;
 };
@@ -108,7 +117,11 @@ class ShardServer {
 
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void WorkerLoop(int slot);
+  /// Serve one connection's session: read-frame / handle / write-frame
+  /// until the peer closes at a frame boundary (clean) or the stream
+  /// fails (deadline, cut, corruption -> bad_requests).
+  void ServeSession(int fd);
 
   /// Op handlers: parse + validate fully, then apply. Return the ok-response
   /// body appended after the response header, or the error to encode.
@@ -143,6 +156,19 @@ class ShardServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+
+  // Worker pool. queue_mu_ is a leaf lock: held only for queue handoff and
+  // fd registration/close — never across a handler or any network I/O.
+  // Sessions close their fd *under* queue_mu_ after deregistering, so a
+  // registered fd number can never be recycled while Stop() walks
+  // active_fds_ cutting connections.
+  mutable Mutex queue_mu_{MAMDR_LOCK_CLASS("ps.net.shard.workers")};
+  CondVar queue_cv_;
+  std::deque<::mamdr::net::ScopedFd> queue_ MAMDR_GUARDED_BY(queue_mu_);
+  bool workers_stop_ MAMDR_GUARDED_BY(queue_mu_) = false;
+  /// Fd each worker is currently serving (-1 idle), indexed by slot.
+  std::vector<int> active_fds_ MAMDR_GUARDED_BY(queue_mu_);
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace net

@@ -142,6 +142,7 @@ Status MetricsServer::Start(int port) {
 void MetricsServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  listener_.Wake();  // pops the blocked PollAccept immediately
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
   port_ = 0;
@@ -152,9 +153,8 @@ void MetricsServer::AcceptLoop() {
   obs::Counter* requests = registry_->counter(
       "serve.metrics_server.requests", obs::Stability::kRuntime);
   for (;;) {
-    // The short poll timeout only bounds how long Stop() waits for the
-    // join; pending connections sit in the listen backlog meanwhile.
-    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/50);
+    // Blocks until a connection or Stop()'s Wake() — no poll churn.
+    const Result<int> accepted = listener_.PollAccept(/*timeout_ms=*/-1);
     if (stopping_.load(std::memory_order_acquire)) {
       if (accepted.ok() && accepted.value() >= 0) {
         net::ScopedFd drop(accepted.value());

@@ -1,8 +1,10 @@
 #include <atomic>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -142,6 +144,35 @@ TEST(StringUtilTest, RenderTableAligns) {
       RenderTable({"Name", "V"}, {{"x", "1"}, {"longer", "23"}});
   EXPECT_NE(t.find("| Name   | V  |"), std::string::npos);
   EXPECT_NE(t.find("| longer | 23 |"), std::string::npos);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Pinned reflected-IEEE answers: wire frames and checkpoint files bake
+  // these bits in, so any implementation change must reproduce them.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  const std::string q = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(q.data(), q.size()), 0x414FA339u);
+}
+
+TEST(Crc32Test, SeedChainsLikeOneShot) {
+  // Incremental use (checkpoint writer streams sections) must equal the
+  // one-shot CRC of the concatenation, at every split point of a buffer
+  // long enough to cross the sliced fast path and its scalar tail.
+  std::string buf;
+  Rng rng(4242);
+  for (int i = 0; i < 1000; ++i) {
+    buf.push_back(static_cast<char>(rng.UniformInt(256)));
+  }
+  const uint32_t whole = Crc32(buf.data(), buf.size());
+  for (const size_t cut : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                           size_t{9}, size_t{500}, size_t{999}, buf.size()}) {
+    const uint32_t part = Crc32(buf.data(), cut);
+    EXPECT_EQ(Crc32(buf.data() + cut, buf.size() - cut, part), whole)
+        << "cut " << cut;
+  }
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {

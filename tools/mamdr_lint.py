@@ -128,7 +128,7 @@ HOT_PATH_MARKER_RE = re.compile(r"//\s*mamdr-lint:\s*hot-path\b")
 # that begins the qualification — i.e. the global namespace — counts.
 RAW_SOCKET_RE = re.compile(
     r"(?<![\w:])::\s*(?:socket|connect|bind|listen|accept|recv|send"
-    r"|setsockopt|shutdown)\s*\(")
+    r"|recvmsg|sendmsg|setsockopt|shutdown)\s*\(")
 RAW_SOCKET_EXEMPT = ("src/common/net.cc",)
 MUTEX_LOCK_RE = re.compile(r"\bMutexLock\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")

@@ -245,11 +245,33 @@ class RawSocketRule(unittest.TestCase):
                      "::accept(fd, nullptr, nullptr)",
                      "::recv(fd, buf, n, 0)",
                      "::send(fd, buf, n, 0)",
+                     "::recvmsg(fd, &msg, 0)",
+                     "::sendmsg(fd, &msg, MSG_NOSIGNAL)",
                      "::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &o, so)",
                      "::shutdown(fd, SHUT_RDWR)"):
             findings = mamdr_lint.lint_text(
                 "src/ps/net/shard_server.cc", f"  int n = {call};\n")
             self.assertEqual(rules(findings), ["raw-socket"], call)
+
+    def test_pool_helpers_are_not_exempt(self):
+        # The connection pool lives next to the transport but is NOT the
+        # wrapper file: its liveness probe and redial must go through the
+        # cnet helpers (ProbeConnAlive, ConnectLoopback), never the raw
+        # calls — even the exact probe idiom net.cc itself uses.
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/connection_pool.cc",
+            "  char b;\n"
+            "  const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);\n")
+        self.assertEqual(rules(findings), ["raw-socket"])
+
+    def test_pool_wrapper_calls_are_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/connection_pool.cc",
+            "  if (!cnet::ProbeConnAlive(slot.fd.get())) stale = true;\n"
+            "  auto conn = cnet::ConnectLoopback(port);\n"
+            "  cnet::ScopedFd fd(conn.value());\n"
+            "  cnet::ShutdownFd(fd.get());\n")
+        self.assertEqual(rules(findings), [])
 
     def test_wrapper_file_exempt(self):
         findings = mamdr_lint.lint_text(
