@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
-#include <vector>
 
 #include "common/mutex.h"
 #include "obs/clock.h"
@@ -13,32 +12,14 @@ namespace mamdr {
 namespace obs {
 namespace {
 
-// Hard cap on buffered spans: at ~80 bytes/event this bounds the recorder at
-// roughly 80 MB, enough for hours of epoch-granularity spans but a backstop
+// Hard cap on buffered spans: at ~100 bytes/event this bounds a recorder at
+// roughly 100 MB, enough for hours of epoch-granularity spans but a backstop
 // against an accidentally traced per-element hot loop.
 constexpr size_t kMaxEvents = 1u << 20;
 
-struct Event {
-  std::string name;
-  const char* category;
-  int64_t ts_us;   // relative to trace start
-  int64_t dur_us;
-  int tid;
-};
-
-struct Recorder {
-  Mutex mu{MAMDR_LOCK_CLASS("obs.trace")};
-  std::vector<Event> events MAMDR_GUARDED_BY(mu);
-  uint64_t dropped MAMDR_GUARDED_BY(mu) = 0;
-};
-
-std::atomic<bool> g_enabled{false};
-std::atomic<int64_t> g_base_us{0};
-
-Recorder& recorder() {
-  static Recorder* r = new Recorder();  // leaked: spans may end at exit
-  return *r;
-}
+// Mirrors Global().enabled() so TracingEnabled() stays a single relaxed
+// load with no function-local-static guard on the hot path.
+std::atomic<bool> g_global_enabled{false};
 
 // Small dense thread ids so the Chrome viewer groups rows sensibly; the
 // first thread to record gets tid 0, and ids are process-lifetime stable.
@@ -48,61 +29,111 @@ int CurrentTid() {
   return tid;
 }
 
-void Record(std::string name, const char* category, int64_t start_us,
-            int64_t end_us) {
-  Recorder& r = recorder();
-  MutexLock lock(&r.mu);
-  if (r.events.size() >= kMaxEvents) {
-    ++r.dropped;
-    return;
-  }
-  Event e;
-  e.name = std::move(name);
-  e.category = category;
-  e.ts_us = start_us - g_base_us.load(std::memory_order_relaxed);
-  e.dur_us = end_us - start_us;
-  e.tid = CurrentTid();
-  r.events.push_back(std::move(e));
+void AppendHexId(uint64_t id, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"0x%016" PRIx64 "\"", id);
+  *out += buf;
 }
 
 }  // namespace
 
-void StartTracing() {
-  Recorder& r = recorder();
+struct TraceRecorder::Impl {
+  mutable Mutex mu{MAMDR_LOCK_CLASS("obs.trace")};
+  std::vector<TraceEvent> events MAMDR_GUARDED_BY(mu);
+  uint64_t dropped MAMDR_GUARDED_BY(mu) = 0;
+  int pid MAMDR_GUARDED_BY(mu) = 1;
+  std::string process_name MAMDR_GUARDED_BY(mu);
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> base_us{0};
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl()) {}
+
+TraceRecorder::~TraceRecorder() { delete impl_; }
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* g = new TraceRecorder();  // leaked: spans end at exit
+  return *g;
+}
+
+void TraceRecorder::Start() {
   {
-    MutexLock lock(&r.mu);
-    r.events.clear();
-    r.dropped = 0;
+    MutexLock lock(&impl_->mu);
+    impl_->events.clear();
+    impl_->dropped = 0;
   }
-  g_base_us.store(MonotonicMicros(), std::memory_order_relaxed);
-  g_enabled.store(true, std::memory_order_release);
+  impl_->base_us.store(MonotonicMicros(), std::memory_order_relaxed);
+  impl_->enabled.store(true, std::memory_order_release);
+  if (this == &Global()) {
+    g_global_enabled.store(true, std::memory_order_release);
+  }
 }
 
-void StopTracing() { g_enabled.store(false, std::memory_order_release); }
-
-bool TracingEnabled() {
-  return g_enabled.load(std::memory_order_acquire);
+void TraceRecorder::Stop() {
+  impl_->enabled.store(false, std::memory_order_release);
+  if (this == &Global()) {
+    g_global_enabled.store(false, std::memory_order_release);
+  }
 }
 
-size_t TraceEventCount() {
-  Recorder& r = recorder();
-  MutexLock lock(&r.mu);
-  return r.events.size();
+bool TraceRecorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_acquire);
 }
 
-uint64_t TraceDroppedCount() {
-  Recorder& r = recorder();
-  MutexLock lock(&r.mu);
-  return r.dropped;
+void TraceRecorder::SetProcess(int pid, std::string name) {
+  MutexLock lock(&impl_->mu);
+  impl_->pid = pid;
+  impl_->process_name = std::move(name);
 }
 
-std::string TraceJson() {
-  Recorder& r = recorder();
-  MutexLock lock(&r.mu);
+void TraceRecorder::Record(TraceEvent e) {
+  if (!enabled()) return;
+  e.ts_us -= impl_->base_us.load(std::memory_order_relaxed);
+  e.tid = CurrentTid();
+  MutexLock lock(&impl_->mu);
+  if (impl_->events.size() >= kMaxEvents) {
+    ++impl_->dropped;
+    return;
+  }
+  impl_->events.push_back(std::move(e));
+}
+
+size_t TraceRecorder::event_count() const {
+  MutexLock lock(&impl_->mu);
+  return impl_->events.size();
+}
+
+uint64_t TraceRecorder::dropped_count() const {
+  MutexLock lock(&impl_->mu);
+  return impl_->dropped;
+}
+
+int64_t TraceRecorder::base_us() const {
+  return impl_->base_us.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::SnapshotEvents() const {
+  MutexLock lock(&impl_->mu);
+  return impl_->events;
+}
+
+std::string TraceRecorder::Json() const {
+  MutexLock lock(&impl_->mu);
   std::string out = "{\"traceEvents\":[";
-  char buf[128];
+  char buf[160];
   bool first = true;
-  for (const Event& e : r.events) {
+  if (!impl_->process_name.empty()) {
+    // Chrome metadata event naming the process row in merged views.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":",
+                  impl_->pid);
+    out += buf;
+    AppendJsonString(impl_->process_name, &out);
+    out += "}}";
+    first = false;
+  }
+  for (const TraceEvent& e : impl_->events) {
     if (!first) out.push_back(',');
     first = false;
     out += "{\"name\":";
@@ -111,13 +142,59 @@ std::string TraceJson() {
     AppendJsonString(e.category, &out);
     std::snprintf(buf, sizeof(buf),
                   ",\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
-                  ",\"pid\":1,\"tid\":%d}",
-                  e.ts_us, e.dur_us, e.tid);
+                  ",\"pid\":%d,\"tid\":%d",
+                  e.ts_us, e.dur_us, impl_->pid, e.tid);
     out += buf;
+    if (e.trace_id != 0 || !e.tags.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (e.trace_id != 0) {
+        out += "\"trace_id\":";
+        AppendHexId(e.trace_id, &out);
+        out += ",\"span_id\":";
+        AppendHexId(e.span_id, &out);
+        if (e.parent_span_id != 0) {
+          out += ",\"parent_span_id\":";
+          AppendHexId(e.parent_span_id, &out);
+        }
+        first_arg = false;
+      }
+      for (const auto& kv : e.tags) {
+        if (!first_arg) out.push_back(',');
+        first_arg = false;
+        AppendJsonString(kv.first, &out);
+        out.push_back(':');
+        AppendJsonString(kv.second, &out);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ms\",\"mamdrMeta\":{\"base_us\":%" PRId64
+                ",\"pid\":%d,\"process\":",
+                impl_->base_us.load(std::memory_order_relaxed), impl_->pid);
+  out += buf;
+  AppendJsonString(impl_->process_name, &out);
+  out += "}}";
   return out;
 }
+
+void StartTracing() { TraceRecorder::Global().Start(); }
+
+void StopTracing() { TraceRecorder::Global().Stop(); }
+
+bool TracingEnabled() {
+  return g_global_enabled.load(std::memory_order_acquire);
+}
+
+size_t TraceEventCount() { return TraceRecorder::Global().event_count(); }
+
+uint64_t TraceDroppedCount() {
+  return TraceRecorder::Global().dropped_count();
+}
+
+std::string TraceJson() { return TraceRecorder::Global().Json(); }
 
 TraceSpan::TraceSpan(const char* name, const char* category) {
   if (!TracingEnabled()) return;
@@ -135,9 +212,12 @@ TraceSpan::TraceSpan(const std::string& name, const char* category) {
 
 TraceSpan::~TraceSpan() {
   if (start_us_ < 0 || !TracingEnabled()) return;
-  int64_t end_us = MonotonicMicros();
-  Record(literal_name_ ? std::string(literal_name_) : std::move(owned_name_),
-         category_, start_us_, end_us);
+  TraceEvent e;
+  e.name = literal_name_ ? std::string(literal_name_) : std::move(owned_name_);
+  e.category = category_;
+  e.ts_us = start_us_;
+  e.dur_us = MonotonicMicros() - start_us_;
+  TraceRecorder::Global().Record(std::move(e));
 }
 
 }  // namespace obs

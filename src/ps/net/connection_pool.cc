@@ -12,6 +12,17 @@ namespace cnet = ::mamdr::net;
 
 ConnectionPool::ConnectionPool(int num_shards) {
   MAMDR_CHECK_GT(num_shards, 0);
+  obs::Registry& reg = obs::Registry::Global();
+  dials_counter_ =
+      reg.counter("ps.net.client.pool.dials", obs::Stability::kRuntime);
+  reuses_counter_ =
+      reg.counter("ps.net.client.pool.reuses", obs::Stability::kRuntime);
+  poisoned_counter_ =
+      reg.counter("ps.net.client.pool.poisoned", obs::Stability::kRuntime);
+  stale_probe_miss_counter_ = reg.counter(
+      "ps.net.client.pool.stale_probe_misses", obs::Stability::kRuntime);
+  stale_port_change_counter_ = reg.counter(
+      "ps.net.client.pool.stale_port_changes", obs::Stability::kRuntime);
   MutexLock lock(&mu_);
   slots_.resize(static_cast<size_t>(num_shards));
 }
@@ -30,17 +41,29 @@ Result<ConnectionPool::Lease> ConnectionPool::Acquire(int shard, int port) {
     MAMDR_CHECK_LT(static_cast<size_t>(shard), slots_.size());
     Slot& slot = slots_[static_cast<size_t>(shard)];
     if (slot.fd.valid()) {
-      if (slot.port == port && cnet::ProbeConnAlive(slot.fd.get())) {
+      if (slot.port != port) {
+        // The shard respawned on a different port: the cached fd points at
+        // a dead (or wrong) server.
+        slot.fd.reset();
+        slot.port = 0;
+        ++stats_.stale_drops;
+        ++stats_.stale_port_change;
+        stale_port_change_counter_->Add();
+      } else if (!cnet::ProbeConnAlive(slot.fd.get())) {
+        // Liveness probe says dead/desynced.
+        slot.fd.reset();
+        slot.port = 0;
+        ++stats_.stale_drops;
+        ++stats_.stale_probe_miss;
+        stale_probe_miss_counter_->Add();
+      } else {
         lease.fd = std::move(slot.fd);
         lease.reused = true;
         slot.port = 0;
         ++stats_.reuses;
+        reuses_counter_->Add();
         return lease;
       }
-      // Wrong port (shard respawned) or probe failed: unusable.
-      slot.fd.reset();
-      slot.port = 0;
-      ++stats_.stale_drops;
     }
   }
   // Fresh dial, outside the lock: ConnectLoopback blocks on the handshake
@@ -49,6 +72,7 @@ Result<ConnectionPool::Lease> ConnectionPool::Acquire(int shard, int port) {
   if (!conn.ok()) return conn.status();
   lease.fd.reset(conn.value());
   lease.reused = false;
+  dials_counter_->Add();
   MutexLock lock(&mu_);
   ++stats_.dials;
   return lease;
@@ -59,6 +83,7 @@ void ConnectionPool::Release(Lease lease, bool healthy) {
   MutexLock lock(&mu_);
   if (!healthy) {
     ++stats_.poisoned;
+    poisoned_counter_->Add();
     return;  // lease.fd closes on scope exit
   }
   MAMDR_CHECK_LT(static_cast<size_t>(lease.shard), slots_.size());

@@ -47,6 +47,7 @@
 #include "common/net.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace mamdr {
 namespace ps {
@@ -66,12 +67,19 @@ class ConnectionPool {
     bool reused = false;
   };
 
-  /// Monotonic counters, all under the pool lock.
+  /// Monotonic counters, all under the pool lock. Each is mirrored into a
+  /// process-global registry counter (ps.net.client.pool.*) so the pool's
+  /// behaviour shows up on every /metrics scrape, not just in tests that
+  /// hold a client handle; stale drops are split there by cause.
   struct Stats {
     uint64_t dials = 0;        // fresh ConnectLoopback calls
     uint64_t reuses = 0;       // leases served from the cache
     uint64_t stale_drops = 0;  // cached fds dropped at Acquire (probe/port)
     uint64_t poisoned = 0;     // leases released unhealthy, fd closed
+    /// stale_drops split: liveness probe said dead/desynced vs the shard
+    /// respawned on a different port (stale_drops == sum of the two).
+    uint64_t stale_probe_miss = 0;
+    uint64_t stale_port_change = 0;
   };
 
   explicit ConnectionPool(int num_shards);
@@ -107,6 +115,14 @@ class ConnectionPool {
   };
   std::vector<Slot> slots_ MAMDR_GUARDED_BY(mu_);
   Stats stats_ MAMDR_GUARDED_BY(mu_);
+
+  // Registry mirrors (registry-lifetime pointers; find-or-created in the
+  // ctor, shared by every pool in the process).
+  obs::Counter* dials_counter_ = nullptr;
+  obs::Counter* reuses_counter_ = nullptr;
+  obs::Counter* poisoned_counter_ = nullptr;
+  obs::Counter* stale_probe_miss_counter_ = nullptr;
+  obs::Counter* stale_port_change_counter_ = nullptr;
 };
 
 }  // namespace net

@@ -7,6 +7,7 @@
 #include "common/lockdep.h"
 #include "common/net.h"
 #include "obs/clock.h"
+#include "obs/trace_context.h"
 
 namespace mamdr {
 namespace ps {
@@ -37,6 +38,13 @@ const char* OpName(PsOp op) {
 }
 
 constexpr uint8_t kMaxOpByte = static_cast<uint8_t>(PsOp::kRestoreRows);
+
+// Span names follow "<component>:<op>" (docs/ARCHITECTURE.md
+// "Observability"): the name pins what the span measures, tags carry the
+// per-instance detail (shard, attempt).
+std::string SpanName(const char* component, PsOp op) {
+  return std::string(component) + ":" + OpName(op);
+}
 
 }  // namespace
 
@@ -83,6 +91,10 @@ NetPsClient::NetPsClient(NetPsClientConfig config, ShardDirectory* directory,
   }
   deadline_cut_counter_ = obs::Registry::Global().counter(
       "ps.net.client.deadline_cuts", obs::Stability::kRuntime);
+  redial_counter_ = obs::Registry::Global().counter(
+      "ps.net.client.redials", obs::Stability::kRuntime);
+  fanout_serial_counter_ = obs::Registry::Global().counter(
+      "ps.net.client.fanout_serial_fallbacks", obs::Stability::kRuntime);
 
   if (config_.rpc_deadline_us > 0) {
     wd_thread_ = std::thread([this] { WatchdogLoop(); });
@@ -211,7 +223,18 @@ Result<std::vector<std::string>> NetPsClient::CallFramesOnce(
   Status st;
   bool cut = false;
   if (config_.pool_connections) {
-    Result<ConnectionPool::Lease> acquired = pool_.Acquire(shard, port);
+    Result<ConnectionPool::Lease> acquired = [&] {
+      obs::ContextSpan acquire_span(std::string("ps.client.pool.acquire"),
+                                    "ps.client");
+      acquire_span.AddTag("shard", std::to_string(shard));
+      Result<ConnectionPool::Lease> a = pool_.Acquire(shard, port);
+      if (a.ok()) {
+        acquire_span.AddTag("reused", a.value().reused ? "true" : "false");
+      } else {
+        acquire_span.SetError(a.status().message());
+      }
+      return a;
+    }();
     if (!acquired.ok()) return acquired.status();
     ConnectionPool::Lease lease = std::move(acquired).value();
     const bool was_reused = lease.reused;
@@ -227,6 +250,10 @@ Result<std::vector<std::string>> NetPsClient::CallFramesOnce(
       // response was lost — the bounded loss class ARCHITECTURE.md
       // documents for retried pushes. A watchdog cut is excluded: the
       // deadline already spent this attempt's time budget.
+      redial_counter_->Add();
+      obs::ContextSpan redial_span(std::string("ps.client.redial"),
+                                   "ps.client");
+      redial_span.AddTag("shard", std::to_string(shard));
       Result<ConnectionPool::Lease> fresh =
           pool_.Acquire(shard, directory_->GetPort(shard));
       if (!fresh.ok()) {
@@ -236,6 +263,7 @@ Result<std::vector<std::string>> NetPsClient::CallFramesOnce(
         st = AttemptOnFd(retry_lease.fd.get(), requests, &responses, &cut);
         pool_.Release(std::move(retry_lease), /*healthy=*/st.ok());
       }
+      if (!st.ok()) redial_span.SetError(st.message());
     }
   } else {
     // Connect-per-op: the PR 8 transport, kept as the bench baseline.
@@ -278,26 +306,54 @@ Result<std::string> NetPsClient::CallOnce(int shard,
 
 Result<std::string> NetPsClient::Call(int shard, PsOp op, std::string body,
                                       const char* what) {
-  PayloadWriter w;
-  w.PutU8(static_cast<uint8_t>(op));
-  std::string request = w.Take() + std::move(body);
+  obs::ContextSpan rpc_span(SpanName("ps.client.rpc", op), "ps.client");
+  rpc_span.AddTag("shard", std::to_string(shard));
   obs::Histogram* rpc_us = rpc_us_by_op_[static_cast<uint8_t>(op)];
 
+  // Untraced attempts reuse one prebuilt frame; traced attempts each open
+  // their own span and re-frame so the context on the wire names the
+  // attempt that actually reached the shard.
+  std::string untraced_frame;
+  int attempt = 0;
   std::string ok_body;
   const Status st = retry_[static_cast<size_t>(shard)]->Run(
       [&]() -> Status {
-        Result<std::string> framed = CallOnce(shard, request, rpc_us);
-        MAMDR_RETURN_IF_ERROR(framed.status());
-        PayloadReader r(framed.value());
-        // The response header carries the remote Status; a remote
-        // kUnavailable (e.g. mid-failover) stays retryable here.
-        MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
-        ok_body = framed.value().substr(framed.value().size() -
-                                        r.remaining());
-        return Status::OK();
+        obs::ContextSpan attempt_span(SpanName("ps.client.attempt", op),
+                                      "ps.client");
+        attempt_span.AddTag("shard", std::to_string(shard));
+        attempt_span.AddTag("attempt", std::to_string(attempt++));
+        std::string traced_frame;
+        const std::string* frame = &untraced_frame;
+        if (attempt_span.active()) {
+          PayloadWriter w;
+          const obs::TraceContext ctx = attempt_span.context();
+          BeginRequest(&w, op, ctx.trace_id, ctx.span_id);
+          traced_frame = w.Take() + body;
+          frame = &traced_frame;
+        } else if (untraced_frame.empty()) {
+          PayloadWriter w;
+          BeginRequest(&w, op, 0, 0);
+          untraced_frame = w.Take() + body;
+        }
+        const Status attempt_st = [&]() -> Status {
+          Result<std::string> framed = CallOnce(shard, *frame, rpc_us);
+          MAMDR_RETURN_IF_ERROR(framed.status());
+          PayloadReader r(framed.value());
+          // The response header carries the remote Status; a remote
+          // kUnavailable (e.g. mid-failover) stays retryable here.
+          MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
+          ok_body = framed.value().substr(framed.value().size() -
+                                          r.remaining());
+          return Status::OK();
+        }();
+        if (!attempt_st.ok()) attempt_span.SetError(attempt_st.message());
+        return attempt_st;
       },
       what);
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    rpc_span.SetError(st.message());
+    return st;
+  }
   return ok_body;
 }
 
@@ -309,39 +365,69 @@ Status NetPsClient::CallBatch(int shard,
     ok_bodies->clear();
     return Status::OK();
   }
-  std::vector<std::string> framed;
-  framed.reserve(requests.size());
-  for (const ShardRequest& req : requests) {
-    PayloadWriter w;
-    w.PutU8(static_cast<uint8_t>(req.op));
-    framed.push_back(w.Take() + req.body);
-  }
-  std::vector<const std::string*> frame_ptrs;
-  frame_ptrs.reserve(framed.size());
-  for (const std::string& f : framed) frame_ptrs.push_back(&f);
+  obs::ContextSpan batch_span(SpanName("ps.client.batch", requests[0].op),
+                              "ps.client");
+  batch_span.AddTag("shard", std::to_string(shard));
+  batch_span.AddTag("frames", std::to_string(requests.size()));
+  // Every frame of a traced attempt carries the attempt span's context, so
+  // all of the batch's server handler spans link to one client span.
+  const auto build_frames = [&requests](uint64_t trace_id, uint64_t span_id) {
+    std::vector<std::string> out;
+    out.reserve(requests.size());
+    for (const ShardRequest& req : requests) {
+      PayloadWriter w;
+      BeginRequest(&w, req.op, trace_id, span_id);
+      out.push_back(w.Take() + req.body);
+    }
+    return out;
+  };
+  std::vector<std::string> framed;  // untraced attempts reuse these
   // The batch's latency lands in the first op's histogram: a pipelined
   // batch is one wire round trip, and splitting it per op would count the
   // same elapsed time N times.
   obs::Histogram* rpc_us =
       rpc_us_by_op_[static_cast<uint8_t>(requests[0].op)];
 
-  return retry_[static_cast<size_t>(shard)]->Run(
+  int attempt = 0;
+  const Status st = retry_[static_cast<size_t>(shard)]->Run(
       [&]() -> Status {
-        Result<std::vector<std::string>> responses =
-            CallFramesOnce(shard, frame_ptrs, rpc_us);
-        MAMDR_RETURN_IF_ERROR(responses.status());
-        ok_bodies->clear();
-        ok_bodies->reserve(responses.value().size());
-        for (const std::string& resp : responses.value()) {
-          PayloadReader r(resp);
-          // Any non-OK response fails (and retries) the whole batch; a
-          // remote kUnavailable mid-failover stays retryable.
-          MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
-          ok_bodies->push_back(resp.substr(resp.size() - r.remaining()));
+        obs::ContextSpan attempt_span(
+            SpanName("ps.client.attempt", requests[0].op), "ps.client");
+        attempt_span.AddTag("shard", std::to_string(shard));
+        attempt_span.AddTag("attempt", std::to_string(attempt++));
+        std::vector<std::string> traced;
+        const std::vector<std::string>* frames = &framed;
+        if (attempt_span.active()) {
+          const obs::TraceContext ctx = attempt_span.context();
+          traced = build_frames(ctx.trace_id, ctx.span_id);
+          frames = &traced;
+        } else if (framed.empty()) {
+          framed = build_frames(0, 0);
         }
-        return Status::OK();
+        std::vector<const std::string*> frame_ptrs;
+        frame_ptrs.reserve(frames->size());
+        for (const std::string& f : *frames) frame_ptrs.push_back(&f);
+        const Status attempt_st = [&]() -> Status {
+          Result<std::vector<std::string>> responses =
+              CallFramesOnce(shard, frame_ptrs, rpc_us);
+          MAMDR_RETURN_IF_ERROR(responses.status());
+          ok_bodies->clear();
+          ok_bodies->reserve(responses.value().size());
+          for (const std::string& resp : responses.value()) {
+            PayloadReader r(resp);
+            // Any non-OK response fails (and retries) the whole batch; a
+            // remote kUnavailable mid-failover stays retryable.
+            MAMDR_RETURN_IF_ERROR(DecodeResponseHeader(&r));
+            ok_bodies->push_back(resp.substr(resp.size() - r.remaining()));
+          }
+          return Status::OK();
+        }();
+        if (!attempt_st.ok()) attempt_span.SetError(attempt_st.message());
+        return attempt_st;
       },
       what);
+  if (!st.ok()) batch_span.SetError(st.message());
+  return st;
 }
 
 Status NetPsClient::FanoutCall(const std::vector<int>& shards, PsOp op,
@@ -350,14 +436,31 @@ Status NetPsClient::FanoutCall(const std::vector<int>& shards, PsOp op,
                                const char* what) {
   MAMDR_CHECK_EQ(shards.size(), bodies.size());
   const size_t n = shards.size();
+  obs::ContextSpan fanout_span(SpanName("ps.client.fanout", op), "ps.client");
+  fanout_span.AddTag("shards", std::to_string(n));
   ok_bodies->assign(n, std::string());
   std::vector<bool> done(n, false);
   if (config_.pool_connections && n > 1) {
     const int64_t start_us = obs::MonotonicMicros();
+    // One child span per target shard; each shard's request frame carries
+    // its child's context, so the server handler span for shard i links
+    // under exactly one of these.
+    std::vector<std::unique_ptr<obs::ContextSpan>> shard_spans(n);
     std::vector<std::string> framed(n);
     for (size_t i = 0; i < n; ++i) {
+      uint64_t trace_id = 0;
+      uint64_t parent_span_id = 0;
+      if (fanout_span.active()) {
+        shard_spans[i] = std::make_unique<obs::ContextSpan>(
+            SpanName("ps.client.shard", op), "ps.client",
+            fanout_span.context());
+        shard_spans[i]->AddTag("shard", std::to_string(shards[i]));
+        const obs::TraceContext ctx = shard_spans[i]->context();
+        trace_id = ctx.trace_id;
+        parent_span_id = ctx.span_id;
+      }
       PayloadWriter w;
-      w.PutU8(static_cast<uint8_t>(op));
+      BeginRequest(&w, op, trace_id, parent_span_id);
       framed[i] = w.Take() + bodies[i];
     }
     // One pooled connection per target, acquired in shard order. A shard
@@ -412,6 +515,19 @@ Status NetPsClient::FanoutCall(const std::vector<int>& shards, PsOp op,
     if (rpc_us != nullptr) {
       rpc_us->Observe(static_cast<double>(obs::MonotonicMicros() - start_us));
     }
+    uint64_t fell_back = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      ++fell_back;
+      if (shard_spans[i] != nullptr) {
+        shard_spans[i]->SetError("pipelined exchange failed; serial fallback");
+      }
+    }
+    if (fell_back > 0) fanout_serial_counter_->Add(fell_back);
+    // Close the per-shard children before any serial retry opens its own
+    // rpc/attempt spans, so fallback work is not nested under a child that
+    // already failed.
+    shard_spans.clear();
   }
   // Serial pass: whatever the pipelined phase did not finish — every shard
   // in connect-per-op mode, a single target, or a shard whose exchange
@@ -480,6 +596,7 @@ std::vector<std::vector<int64_t>> NetPsClient::GroupRowsByShard(
 
 Status NetPsClient::Ping(int shard) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:ping"), "ps.client");
   if (shard < 0 || shard >= config_.num_shards) {
     return Status::InvalidArgument("ping: bad shard " +
                                    std::to_string(shard));
@@ -494,6 +611,7 @@ Status NetPsClient::Ping(int shard) {
 
 Status NetPsClient::PullDense(std::vector<Tensor>* out) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:pull_dense"), "ps.client");
   return PullDenseFanout(out);
 }
 
@@ -603,6 +721,7 @@ Status NetPsClient::PullRowsFanout(int64_t idx,
 Status NetPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
                              Tensor* into) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:pull_rows"), "ps.client");
   MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
   MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
   MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
@@ -611,6 +730,7 @@ Status NetPsClient::PullRows(int64_t idx, const std::vector<int64_t>& rows,
 
 Status NetPsClient::PullFullTable(int64_t idx, Tensor* into) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:pull_full_table"), "ps.client");
   MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
   MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, *into, "pull destination"));
   const int64_t n = shapes_[static_cast<size_t>(idx)][0];
@@ -622,6 +742,7 @@ Status NetPsClient::PullFullTable(int64_t idx, Tensor* into) {
 Status NetPsClient::PushDenseDelta(const std::vector<Tensor>& delta,
                                    float beta) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:push_dense_delta"), "ps.client");
   if (delta.size() != shapes_.size()) {
     return Status::InvalidArgument(
         "ps client: dense delta has " + std::to_string(delta.size()) +
@@ -665,6 +786,7 @@ Status NetPsClient::PushRowDeltas(int64_t idx,
                                   const std::vector<int64_t>& rows,
                                   const Tensor& delta, float beta) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:push_row_deltas"), "ps.client");
   MAMDR_RETURN_IF_ERROR(CheckIndex(idx, /*want_embedding=*/true));
   MAMDR_RETURN_IF_ERROR(CheckRows(idx, rows));
   MAMDR_RETURN_IF_ERROR(CheckTableShape(idx, delta, "push delta"));
@@ -704,6 +826,7 @@ Status NetPsClient::PushRowDeltas(int64_t idx,
 
 Result<std::vector<Tensor>> NetPsClient::Snapshot() {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:snapshot"), "ps.client");
   std::vector<Tensor> out;
   out.reserve(shapes_.size());
   for (const Shape& shape : shapes_) out.emplace_back(shape);
@@ -766,6 +889,7 @@ Result<std::vector<Tensor>> NetPsClient::Snapshot() {
 
 Status NetPsClient::Restore(const std::vector<Tensor>& params) {
   EnterOp();
+  obs::ContextSpan op_span(std::string("ps.op:restore"), "ps.client");
   if (params.size() != shapes_.size()) {
     return Status::InvalidArgument(
         "ps client: restore has " + std::to_string(params.size()) +

@@ -238,10 +238,13 @@ class NetPsClient : public PsClient {
   ConnectionPool pool_;
   std::function<void()> op_hook_;
 
-  /// Per-op RPC latency histograms (ps.net.client.rpc_us{op="..."}) and the
-  /// deadline-cut counter, registered once at construction.
+  /// Per-op RPC latency histograms (ps.net.client.rpc_us{op="..."}) and
+  /// transport-event counters (deadline cuts, stale-pool redials, fan-out
+  /// serial fallbacks), registered once at construction.
   std::vector<obs::Histogram*> rpc_us_by_op_;
   obs::Counter* deadline_cut_counter_;
+  obs::Counter* redial_counter_;
+  obs::Counter* fanout_serial_counter_;
 
   // Watchdog: armed per RPC attempt with the in-flight fd(s) — a
   // cross-shard fan-out arms one per shard; on deadline expiry it shuts

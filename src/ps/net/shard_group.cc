@@ -44,6 +44,15 @@ std::unique_ptr<ShardServer> ShardGroup::MakeShard(int shard) const {
   sc.read_deadline_us = config_.read_deadline_us;
   sc.num_workers = config_.num_workers;
   sc.max_frame_bytes = config_.max_frame_bytes;
+  if (!config_.trace_dir.empty()) {
+    sc.trace_path = config_.trace_dir + "/shard-" + std::to_string(shard) +
+                    ".trace.json";
+  }
+  if (config_.metrics_base_port == 0) {
+    sc.metrics_port = 0;  // every shard ephemeral
+  } else if (config_.metrics_base_port > 0) {
+    sc.metrics_port = config_.metrics_base_port + shard;
+  }
   return std::make_unique<ShardServer>(sc, initial_params_, is_embedding_);
 }
 

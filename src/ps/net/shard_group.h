@@ -49,6 +49,15 @@ struct ShardGroupConfig {
   /// Connections served in parallel per shard.
   int num_workers = 4;
   size_t max_frame_bytes = size_t{64} << 20;
+  /// Directory for per-shard Chrome-trace files ("shard-<i>.trace.json");
+  /// "" disables shard tracing. A respawned shard overwrites its file, so
+  /// the directory always holds the *last incarnation's* spans — merge
+  /// with tools/mamdr_tracemerge.py.
+  std::string trace_dir;
+  /// Per-shard Prometheus ports: shard i serves /metrics on
+  /// `metrics_base_port + i` (use 0 to hand every shard an ephemeral port,
+  /// read back via shard_for_test(i)->metrics_port()); < 0 disables.
+  int metrics_base_port = -1;
 };
 
 class ShardGroup {

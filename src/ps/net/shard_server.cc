@@ -4,7 +4,10 @@
 
 #include "checkpoint/checkpoint.h"
 #include "common/check.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_context.h"
 
 namespace mamdr {
 namespace ps {
@@ -18,6 +21,33 @@ std::string ShardLabel(const char* family, int shard_id) {
   return std::string(family) + "{shard=\"" + std::to_string(shard_id) +
          "\"}";
 }
+
+std::string ShardOpLabel(const char* family, int shard_id, const char* op) {
+  return std::string(family) + "{shard=\"" + std::to_string(shard_id) +
+         "\",op=\"" + op + "\"}";
+}
+
+const char* OpName(uint8_t op_byte) {
+  switch (static_cast<PsOp>(op_byte)) {
+    case PsOp::kPing:
+      return "ping";
+    case PsOp::kPullParams:
+      return "pull_params";
+    case PsOp::kPushParams:
+      return "push_params";
+    case PsOp::kPullRows:
+      return "pull_rows";
+    case PsOp::kPushRows:
+      return "push_rows";
+    case PsOp::kRestoreParams:
+      return "restore_params";
+    case PsOp::kRestoreRows:
+      return "restore_rows";
+  }
+  return "unknown";
+}
+
+constexpr uint8_t kMaxOpByte = static_cast<uint8_t>(PsOp::kRestoreRows);
 
 /// Parse the numeric suffix of a "param/<i>" checkpoint tensor name;
 /// -1 on anything that is not a plain decimal number.
@@ -57,6 +87,56 @@ ShardServer::ShardServer(ShardServerConfig config, std::vector<Tensor> params,
     shapes_.push_back(t.shape());
     if (is_embedding_[i]) MAMDR_CHECK_EQ(t.rank(), 2);
   }
+  RegisterMetrics();
+}
+
+void ShardServer::RegisterMetrics() {
+  obs::Registry& reg = obs::Registry::Global();
+  const int id = config_.shard_id;
+  up_gauge_ = reg.gauge(ShardLabel("ps.net.shard.up", id),
+                        obs::Stability::kRuntime);
+  requests_counter_ = reg.counter(ShardLabel("ps.net.shard.requests", id),
+                                  obs::Stability::kRuntime);
+  bad_requests_counter_ = reg.counter(
+      ShardLabel("ps.net.shard.bad_requests", id), obs::Stability::kRuntime);
+  sessions_counter_ = reg.counter(ShardLabel("ps.net.shard.sessions", id),
+                                  obs::Stability::kRuntime);
+  bytes_in_counter_ = reg.counter(ShardLabel("ps.net.shard.bytes_in", id),
+                                  obs::Stability::kRuntime);
+  bytes_out_counter_ = reg.counter(ShardLabel("ps.net.shard.bytes_out", id),
+                                   obs::Stability::kRuntime);
+  queue_depth_gauge_ = reg.gauge(ShardLabel("ps.net.shard.queue_depth", id),
+                                 obs::Stability::kRuntime);
+  active_sessions_gauge_ = reg.gauge(
+      ShardLabel("ps.net.shard.active_sessions", id),
+      obs::Stability::kRuntime);
+  worker_utilization_gauge_ = reg.gauge(
+      ShardLabel("ps.net.shard.worker_utilization", id),
+      obs::Stability::kRuntime);
+  // Queue waits are loopback-scheduler scale; handler latencies reach into
+  // injected-latency territory. One canonical exponential ladder covers
+  // both (same geometry as the client's rpc_us buckets).
+  queue_wait_us_ = reg.histogram(
+      ShardLabel("ps.net.shard.queue_wait_us", id),
+      obs::Histogram::ExponentialBounds(10.0, 2.0, 20),
+      obs::Stability::kRuntime);
+  op_us_by_op_.assign(kMaxOpByte + 1, nullptr);
+  for (uint8_t b = 1; b <= kMaxOpByte; ++b) {
+    op_us_by_op_[b] = reg.histogram(
+        ShardOpLabel("ps.net.shard.op_us", id, OpName(b)),
+        obs::Histogram::ExponentialBounds(10.0, 2.0, 20),
+        obs::Stability::kRuntime);
+  }
+}
+
+void ShardServer::UpdateUtilization(int64_t now_us) {
+  const int64_t up_us = now_us - serve_start_us_;
+  const int workers = config_.num_workers > 0 ? config_.num_workers : 1;
+  if (up_us <= 0) return;
+  const double util =
+      static_cast<double>(busy_us_.load(std::memory_order_relaxed)) /
+      (static_cast<double>(workers) * static_cast<double>(up_us));
+  worker_utilization_gauge_->Set(util < 1.0 ? util : 1.0);
 }
 
 ShardServer::~ShardServer() { Stop(); }
@@ -66,13 +146,28 @@ Status ShardServer::Start(int port) {
     return Status::FailedPrecondition("shard server already running");
   }
   MAMDR_RETURN_IF_ERROR(listener_.Bind(port));
+  if (config_.metrics_port >= 0) {
+    // Per-shard Prometheus endpoint. The registry is process-global; this
+    // shard's series are the `{shard="id"}`-labelled ones.
+    auto server = std::make_unique<serve::MetricsServer>();
+    const Status st = server->Start(config_.metrics_port);
+    if (!st.ok()) {
+      listener_.Close();
+      return st;
+    }
+    metrics_server_ = std::move(server);
+  }
   port_ = listener_.port();
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  obs::Registry::Global()
-      .gauge(ShardLabel("ps.net.shard.up", config_.shard_id),
-             obs::Stability::kRuntime)
-      ->Set(1.0);
+  serve_start_us_ = obs::MonotonicMicros();
+  busy_us_.store(0, std::memory_order_relaxed);
+  if (!config_.trace_path.empty()) {
+    recorder_.SetProcess(1000 + config_.shard_id,
+                         "shard-" + std::to_string(config_.shard_id));
+    recorder_.Start();
+  }
+  up_gauge_->Set(1.0);
   const int num_workers = config_.num_workers > 0 ? config_.num_workers : 1;
   {
     MutexLock lock(&queue_mu_);
@@ -113,10 +208,20 @@ void ShardServer::Stop() {
   listener_.Close();
   port_ = 0;
   running_.store(false, std::memory_order_release);
-  obs::Registry::Global()
-      .gauge(ShardLabel("ps.net.shard.up", config_.shard_id),
-             obs::Stability::kRuntime)
-      ->Set(0.0);
+  if (metrics_server_ != nullptr) {
+    metrics_server_->Stop();
+    metrics_server_.reset();
+  }
+  if (!config_.trace_path.empty()) {
+    // One Chrome-trace file per logical shard process — the input contract
+    // of tools/mamdr_tracemerge.py. A write failure must not turn a clean
+    // shutdown into a crash; the trace is a debugging artifact.
+    recorder_.Stop();
+    std::string error;
+    (void)obs::WriteFile(config_.trace_path, recorder_.Json() + "\n",
+                         &error);
+  }
+  up_gauge_->Set(0.0);
 }
 
 void ShardServer::AcceptLoop() {
@@ -137,7 +242,8 @@ void ShardServer::AcceptLoop() {
       (void)cnet::SetIoTimeout(fd.get(), config_.read_deadline_us);
     }
     MutexLock lock(&queue_mu_);
-    queue_.push_back(std::move(fd));
+    queue_.push_back({std::move(fd), obs::MonotonicMicros()});
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     queue_cv_.NotifyOne();
   }
 }
@@ -145,15 +251,33 @@ void ShardServer::AcceptLoop() {
 void ShardServer::WorkerLoop(int slot) {
   for (;;) {
     cnet::ScopedFd fd;
+    int64_t enqueue_us = 0;
     {
       MutexLock lock(&queue_mu_);
       while (queue_.empty() && !workers_stop_) queue_cv_.Wait(&queue_mu_);
       if (workers_stop_) return;
-      fd = std::move(queue_.front());
+      fd = std::move(queue_.front().fd);
+      enqueue_us = queue_.front().enqueue_us;
       queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
       active_fds_[static_cast<size_t>(slot)] = fd.get();
     }
+    const int64_t pickup_us = obs::MonotonicMicros();
+    queue_wait_us_->Observe(static_cast<double>(pickup_us - enqueue_us));
+    if (recorder_.enabled()) {
+      // The queue wait predates any request frame, so it carries no trace
+      // context — it renders as a free-standing span on the shard's row.
+      obs::TraceEvent e;
+      e.name = "ps.shard.queue_wait";
+      e.category = "ps.shard";
+      e.ts_us = enqueue_us;
+      e.dur_us = pickup_us - enqueue_us;
+      recorder_.Record(std::move(e));
+    }
     ServeSession(fd.get());
+    busy_us_.fetch_add(obs::MonotonicMicros() - pickup_us,
+                       std::memory_order_relaxed);
+    UpdateUtilization(obs::MonotonicMicros());
     {
       // Deregister and close under the queue lock, so Stop() can never cut
       // a recycled fd number (see the header comment on queue_mu_).
@@ -165,6 +289,9 @@ void ShardServer::WorkerLoop(int slot) {
 }
 
 void ShardServer::ServeSession(int fd) {
+  sessions_counter_->Add();
+  active_sessions_gauge_->Set(static_cast<double>(
+      active_sessions_.fetch_add(1, std::memory_order_relaxed) + 1));
   for (;;) {
     bool clean_close = false;
     Result<std::string> request =
@@ -178,14 +305,19 @@ void ShardServer::ServeSession(int fd) {
       // request on a fresh connection. Only a *decodable* frame carrying
       // a bad message earns a kInvalidArgument response (HandleRequest).
       if (!clean_close) {
+        bad_requests_counter_->Add();
         MutexLock lock(&mu_);
         ++stats_.bad_requests;
       }
-      return;
+      break;
     }
+    bytes_in_counter_->Add(request.value().size());
     const std::string response = HandleRequest(request.value());
-    if (!cnet::WriteFrame(fd, response).ok()) return;
+    bytes_out_counter_->Add(response.size());
+    if (!cnet::WriteFrame(fd, response).ok()) break;
   }
+  active_sessions_gauge_->Set(static_cast<double>(
+      active_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1));
 }
 
 std::string ShardServer::HandleRequest(const std::string& request) {
@@ -193,16 +325,27 @@ std::string ShardServer::HandleRequest(const std::string& request) {
     MutexLock lock(&mu_);
     ++stats_.requests;
   }
-  obs::Registry::Global()
-      .counter(ShardLabel("ps.net.shard.requests", config_.shard_id),
-               obs::Stability::kRuntime)
-      ->Add();
+  requests_counter_->Add();
+  const int64_t start_us = obs::MonotonicMicros();
 
   PayloadReader r(request);
+  RequestEnvelope env;
+  const Status env_st = DecodeRequestEnvelope(&r, &env);
+
+  // The handler span parents under the client span whose context rode the
+  // frame (same trace_id end to end); an untraced or undecodable frame
+  // opens a fresh root so the work is still visible on the shard's row.
+  // The ambient installation lets the decode/apply/encode sub-spans the
+  // handlers open attach underneath automatically.
+  obs::ContextSpan handle_span(
+      std::string("ps.shard.handle:") + OpName(env.op), "ps.shard",
+      obs::TraceContext{env.trace_id, env.parent_span_id}, &recorder_);
+  handle_span.AddTag("shard", std::to_string(config_.shard_id));
+  obs::ScopedTraceContext ambient(handle_span.context());
+
   Result<std::string> body = [&]() -> Result<std::string> {
-    uint8_t op_byte = 0;
-    MAMDR_RETURN_IF_ERROR(r.GetU8(&op_byte));
-    switch (static_cast<PsOp>(op_byte)) {
+    MAMDR_RETURN_IF_ERROR(env_st);
+    switch (static_cast<PsOp>(env.op)) {
       case PsOp::kPing:
         MAMDR_RETURN_IF_ERROR(r.ExpectEnd());
         return std::string();
@@ -220,17 +363,30 @@ std::string ShardServer::HandleRequest(const std::string& request) {
         return HandlePushRows(&r, /*restore=*/true);
     }
     return Status::InvalidArgument("ps wire: unknown op " +
-                                   std::to_string(op_byte));
+                                   std::to_string(env.op));
   }();
 
+  std::string response;
   if (!body.ok()) {
-    MutexLock lock(&mu_);
-    ++stats_.bad_requests;
-    return EncodeErrorResponse(body.status());
+    bad_requests_counter_->Add();
+    {
+      MutexLock lock(&mu_);
+      ++stats_.bad_requests;
+    }
+    handle_span.SetError(body.status().message());
+    response = EncodeErrorResponse(body.status());
+  } else {
+    obs::ContextSpan encode_span(std::string("ps.shard.encode"), "ps.shard",
+                                 &recorder_);
+    PayloadWriter w;
+    BeginOkResponse(&w);
+    response = w.Take() + body.value();
   }
-  PayloadWriter w;
-  BeginOkResponse(&w);
-  return w.Take() + body.value();
+  if (env.op >= 1 && env.op <= kMaxOpByte) {
+    op_us_by_op_[env.op]->Observe(
+        static_cast<double>(obs::MonotonicMicros() - start_us));
+  }
+  return response;
 }
 
 Status ShardServer::CheckParamIndex(uint32_t idx, bool want_embedding) const {
@@ -257,19 +413,28 @@ Status ShardServer::CheckParamIndex(uint32_t idx, bool want_embedding) const {
 }
 
 Result<std::string> ShardServer::HandlePullParams(PayloadReader* r) {
-  uint32_t n = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
-  if (n > is_embedding_.size()) {
-    return Status::InvalidArgument("pull_params: count " + std::to_string(n) +
-                                   " exceeds layout size");
+  // decode/apply sub-spans parent under the ambient handle span installed
+  // by HandleRequest (same pattern in every handler below).
+  std::vector<uint32_t> idxs;
+  {
+    obs::ContextSpan decode_span("ps.shard.decode", "ps.shard", &recorder_);
+    uint32_t n = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
+    if (n > is_embedding_.size()) {
+      return Status::InvalidArgument("pull_params: count " +
+                                     std::to_string(n) +
+                                     " exceeds layout size");
+    }
+    idxs.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      MAMDR_RETURN_IF_ERROR(r->GetU32(&idxs[i]));
+      MAMDR_RETURN_IF_ERROR(
+          CheckParamIndex(idxs[i], /*want_embedding=*/false));
+    }
+    MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
   }
-  std::vector<uint32_t> idxs(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    MAMDR_RETURN_IF_ERROR(r->GetU32(&idxs[i]));
-    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idxs[i], /*want_embedding=*/false));
-  }
-  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
 
+  obs::ContextSpan apply_span("ps.shard.apply", "ps.shard", &recorder_);
   PayloadWriter w;
   MutexLock lock(&mu_);
   for (const uint32_t idx : idxs) {
@@ -284,34 +449,39 @@ Result<std::string> ShardServer::HandlePullParams(PayloadReader* r) {
 Result<std::string> ShardServer::HandlePushParams(PayloadReader* r,
                                                   bool restore) {
   float beta = 1.0f;
-  if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
-  uint32_t n = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
-  if (n > is_embedding_.size()) {
-    return Status::InvalidArgument("push_params: count " + std::to_string(n) +
-                                   " exceeds layout size");
-  }
   // Parse and validate the whole message before touching state: a push
   // applies on this shard entirely or not at all.
   std::vector<std::pair<uint32_t, std::vector<float>>> entries;
-  entries.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    uint32_t idx = 0;
-    MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
-    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/false));
-    uint64_t size = 0;
-    MAMDR_RETURN_IF_ERROR(r->GetU64(&size));
-    if (size != static_cast<uint64_t>(sizes_[idx])) {
-      return Status::InvalidArgument(
-          "push_params: param " + std::to_string(idx) + " size " +
-          std::to_string(size) + " != " + std::to_string(sizes_[idx]));
+  {
+    obs::ContextSpan decode_span("ps.shard.decode", "ps.shard", &recorder_);
+    if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
+    uint32_t n = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&n));
+    if (n > is_embedding_.size()) {
+      return Status::InvalidArgument("push_params: count " +
+                                     std::to_string(n) +
+                                     " exceeds layout size");
     }
-    std::vector<float> data(static_cast<size_t>(size));
-    MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
-    entries.emplace_back(idx, std::move(data));
+    entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t idx = 0;
+      MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+      MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/false));
+      uint64_t size = 0;
+      MAMDR_RETURN_IF_ERROR(r->GetU64(&size));
+      if (size != static_cast<uint64_t>(sizes_[idx])) {
+        return Status::InvalidArgument(
+            "push_params: param " + std::to_string(idx) + " size " +
+            std::to_string(size) + " != " + std::to_string(sizes_[idx]));
+      }
+      std::vector<float> data(static_cast<size_t>(size));
+      MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
+      entries.emplace_back(idx, std::move(data));
+    }
+    MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
   }
-  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
 
+  obs::ContextSpan apply_span("ps.shard.apply", "ps.shard", &recorder_);
   MutexLock lock(&mu_);
   for (const auto& [idx, delta] : entries) {
     float* p = params_[idx].data();
@@ -326,40 +496,48 @@ Result<std::string> ShardServer::HandlePushParams(PayloadReader* r,
 
 Result<std::string> ShardServer::HandlePullRows(PayloadReader* r) {
   uint32_t idx = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
-  MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
-  const int64_t table_rows = rows_[idx];
-  const int64_t dim = cols_[idx];
-  if (dim <= 0) {
-    return Status::InvalidArgument("pull_rows: param " + std::to_string(idx) +
-                                   " has no columns");
-  }
-  uint64_t nrows = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
-  const uint64_t max_rows =
-      config_.max_frame_bytes / (static_cast<uint64_t>(dim) * sizeof(float));
-  if (nrows > max_rows) {
-    return Status::InvalidArgument("pull_rows: row count " +
-                                   std::to_string(nrows) +
-                                   " exceeds frame budget");
-  }
-  std::vector<int64_t> rows(static_cast<size_t>(nrows));
-  for (auto& row : rows) {
-    MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
-    if (row < 0 || row >= table_rows) {
-      return Status::InvalidArgument(
-          "pull_rows: row " + std::to_string(row) + " out of range [0, " +
-          std::to_string(table_rows) + ") for param " + std::to_string(idx));
+  int64_t dim = 0;
+  std::vector<int64_t> rows;
+  {
+    obs::ContextSpan decode_span("ps.shard.decode", "ps.shard", &recorder_);
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
+    const int64_t table_rows = rows_[idx];
+    dim = cols_[idx];
+    if (dim <= 0) {
+      return Status::InvalidArgument("pull_rows: param " +
+                                     std::to_string(idx) + " has no columns");
     }
-    if (ring_.ShardForRow(idx, row) != config_.shard_id) {
-      return Status::InvalidArgument(
-          "shard " + std::to_string(config_.shard_id) +
-          ": not the owner of param " + std::to_string(idx) + " row " +
-          std::to_string(row));
+    uint64_t nrows = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
+    const uint64_t max_rows =
+        config_.max_frame_bytes /
+        (static_cast<uint64_t>(dim) * sizeof(float));
+    if (nrows > max_rows) {
+      return Status::InvalidArgument("pull_rows: row count " +
+                                     std::to_string(nrows) +
+                                     " exceeds frame budget");
     }
+    rows.resize(static_cast<size_t>(nrows));
+    for (auto& row : rows) {
+      MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
+      if (row < 0 || row >= table_rows) {
+        return Status::InvalidArgument(
+            "pull_rows: row " + std::to_string(row) + " out of range [0, " +
+            std::to_string(table_rows) + ") for param " +
+            std::to_string(idx));
+      }
+      if (ring_.ShardForRow(idx, row) != config_.shard_id) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(config_.shard_id) +
+            ": not the owner of param " + std::to_string(idx) + " row " +
+            std::to_string(row));
+      }
+    }
+    MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
   }
-  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
 
+  obs::ContextSpan apply_span("ps.shard.apply", "ps.shard", &recorder_);
   PayloadWriter w;
   w.PutU64(static_cast<uint64_t>(dim));
   MutexLock lock(&mu_);
@@ -367,71 +545,79 @@ Result<std::string> ShardServer::HandlePullRows(PayloadReader* r) {
   for (const int64_t row : rows) {
     w.PutF32Array(base + row * dim, static_cast<size_t>(dim));
   }
-  stats_.rows_pulled += nrows;
+  stats_.rows_pulled += static_cast<uint64_t>(rows.size());
   return w.Take();
 }
 
 Result<std::string> ShardServer::HandlePushRows(PayloadReader* r,
                                                 bool restore) {
   uint32_t idx = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
-  MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
-  const int64_t table_rows = rows_[idx];
-  const int64_t table_dim = cols_[idx];
-  if (table_dim <= 0) {
-    return Status::InvalidArgument("push_rows: param " + std::to_string(idx) +
-                                   " has no columns");
-  }
+  int64_t table_dim = 0;
   float beta = 1.0f;
-  if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
-  uint64_t nrows = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
-  const uint64_t max_rows =
-      config_.max_frame_bytes /
-      (static_cast<uint64_t>(table_dim) * sizeof(float));
-  if (nrows > max_rows) {
-    return Status::InvalidArgument("push_rows: row count " +
-                                   std::to_string(nrows) +
-                                   " exceeds frame budget");
-  }
-  std::vector<int64_t> rows(static_cast<size_t>(nrows));
-  for (auto& row : rows) {
-    MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
-    if (row < 0 || row >= table_rows) {
-      return Status::InvalidArgument(
-          "push_rows: row " + std::to_string(row) + " out of range [0, " +
-          std::to_string(table_rows) + ") for param " + std::to_string(idx));
+  std::vector<int64_t> rows;
+  std::vector<float> data;
+  {
+    obs::ContextSpan decode_span("ps.shard.decode", "ps.shard", &recorder_);
+    MAMDR_RETURN_IF_ERROR(r->GetU32(&idx));
+    MAMDR_RETURN_IF_ERROR(CheckParamIndex(idx, /*want_embedding=*/true));
+    const int64_t table_rows = rows_[idx];
+    table_dim = cols_[idx];
+    if (table_dim <= 0) {
+      return Status::InvalidArgument("push_rows: param " +
+                                     std::to_string(idx) + " has no columns");
     }
-    if (ring_.ShardForRow(idx, row) != config_.shard_id) {
-      return Status::InvalidArgument(
-          "shard " + std::to_string(config_.shard_id) +
-          ": not the owner of param " + std::to_string(idx) + " row " +
-          std::to_string(row));
+    if (!restore) MAMDR_RETURN_IF_ERROR(r->GetF32(&beta));
+    uint64_t nrows = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&nrows));
+    const uint64_t max_rows =
+        config_.max_frame_bytes /
+        (static_cast<uint64_t>(table_dim) * sizeof(float));
+    if (nrows > max_rows) {
+      return Status::InvalidArgument("push_rows: row count " +
+                                     std::to_string(nrows) +
+                                     " exceeds frame budget");
     }
+    rows.resize(static_cast<size_t>(nrows));
+    for (auto& row : rows) {
+      MAMDR_RETURN_IF_ERROR(r->GetI64(&row));
+      if (row < 0 || row >= table_rows) {
+        return Status::InvalidArgument(
+            "push_rows: row " + std::to_string(row) + " out of range [0, " +
+            std::to_string(table_rows) + ") for param " +
+            std::to_string(idx));
+      }
+      if (ring_.ShardForRow(idx, row) != config_.shard_id) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(config_.shard_id) +
+            ": not the owner of param " + std::to_string(idx) + " row " +
+            std::to_string(row));
+      }
+    }
+    uint64_t dim = 0;
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&dim));
+    if (dim != static_cast<uint64_t>(table_dim)) {
+      return Status::InvalidArgument(
+          "push_rows: dim " + std::to_string(dim) + " != table dim " +
+          std::to_string(table_dim) + " for param " + std::to_string(idx));
+    }
+    data.resize(static_cast<size_t>(nrows * dim));
+    MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
+    MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
   }
-  uint64_t dim = 0;
-  MAMDR_RETURN_IF_ERROR(r->GetU64(&dim));
-  if (dim != static_cast<uint64_t>(table_dim)) {
-    return Status::InvalidArgument(
-        "push_rows: dim " + std::to_string(dim) + " != table dim " +
-        std::to_string(table_dim) + " for param " + std::to_string(idx));
-  }
-  std::vector<float> data(static_cast<size_t>(nrows * dim));
-  MAMDR_RETURN_IF_ERROR(r->GetF32Array(data.data(), data.size()));
-  MAMDR_RETURN_IF_ERROR(r->ExpectEnd());
 
+  obs::ContextSpan apply_span("ps.shard.apply", "ps.shard", &recorder_);
   MutexLock lock(&mu_);
   float* base = params_[idx].data();
   for (size_t i = 0; i < rows.size(); ++i) {
     float* dst = base + rows[i] * table_dim;
-    const float* src = data.data() + i * dim;
+    const float* src = data.data() + static_cast<int64_t>(i) * table_dim;
     if (restore) {
       for (int64_t k = 0; k < table_dim; ++k) dst[k] = src[k];
     } else {
       for (int64_t k = 0; k < table_dim; ++k) dst[k] += beta * src[k];
     }
   }
-  stats_.rows_pushed += nrows;
+  stats_.rows_pushed += static_cast<uint64_t>(rows.size());
   return std::string();
 }
 

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,8 +44,11 @@
 #include "common/net.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/net/hash_ring.h"
 #include "ps/net/wire.h"
+#include "serve/metrics_server.h"
 #include "tensor/tensor.h"
 
 namespace mamdr {
@@ -67,6 +71,15 @@ struct ShardServerConfig {
   int num_workers = 4;
   /// Upper bound on a single frame payload (request or response).
   size_t max_frame_bytes = size_t{64} << 20;
+  /// Per-shard Chrome-trace file: when non-empty the shard records handler
+  /// spans into its own TraceRecorder (started at Start()) and writes the
+  /// trace document here at Stop() — one file per logical process, the
+  /// input contract of tools/mamdr_tracemerge.py.
+  std::string trace_path;
+  /// Per-shard Prometheus endpoint (--shard-metrics-port): >= 0 starts a
+  /// serve::MetricsServer on this port at Start() (0 = ephemeral, read it
+  /// back via metrics_port()); < 0 disables.
+  int metrics_port = -1;
 };
 
 /// Request/traffic counters (read by tests after a run).
@@ -115,6 +128,15 @@ class ShardServer {
 
   ShardStats stats() const MAMDR_EXCLUDES(mu_);
 
+  /// The shard's own span buffer (collecting iff trace_path was set and
+  /// the server is running). Tests read it to link client and server spans.
+  obs::TraceRecorder& trace_recorder() { return recorder_; }
+
+  /// The bound Prometheus port; -1 when the endpoint is disabled.
+  int metrics_port() const {
+    return metrics_server_ != nullptr ? metrics_server_->port() : -1;
+  }
+
  private:
   void AcceptLoop();
   void WorkerLoop(int slot);
@@ -135,6 +157,13 @@ class ShardServer {
   /// Shared validation: `idx` in range, embedding-ness as expected, and —
   /// for dense tensors — owned by this shard.
   Status CheckParamIndex(uint32_t idx, bool want_embedding) const;
+
+  /// Register the shard-labelled registry metrics (idempotent: the
+  /// registry find-or-creates, so a respawned shard reuses its series).
+  void RegisterMetrics();
+  /// Recompute worker_utilization from accumulated busy time. `now_us` is
+  /// the caller's MonotonicMicros() reading.
+  void UpdateUtilization(int64_t now_us);
 
   const ShardServerConfig config_;
   const HashRing ring_;
@@ -164,11 +193,37 @@ class ShardServer {
   // active_fds_ cutting connections.
   mutable Mutex queue_mu_{MAMDR_LOCK_CLASS("ps.net.shard.workers")};
   CondVar queue_cv_;
-  std::deque<::mamdr::net::ScopedFd> queue_ MAMDR_GUARDED_BY(queue_mu_);
+  /// A queued connection remembers when it was accepted so the worker that
+  /// picks it up can attribute the queue wait (span + histogram).
+  struct QueuedConn {
+    ::mamdr::net::ScopedFd fd;
+    int64_t enqueue_us = 0;
+  };
+  std::deque<QueuedConn> queue_ MAMDR_GUARDED_BY(queue_mu_);
   bool workers_stop_ MAMDR_GUARDED_BY(queue_mu_) = false;
   /// Fd each worker is currently serving (-1 idle), indexed by slot.
   std::vector<int> active_fds_ MAMDR_GUARDED_BY(queue_mu_);
   std::vector<std::thread> workers_;
+
+  // Per-shard telemetry. The registry pointers are registry-lifetime;
+  // RegisterMetrics() finds-or-creates them by shard-labelled name.
+  obs::TraceRecorder recorder_;
+  std::unique_ptr<serve::MetricsServer> metrics_server_;
+  std::atomic<int64_t> busy_us_{0};       // summed worker session time
+  std::atomic<int> active_sessions_{0};
+  int64_t serve_start_us_ = 0;            // Start() timestamp
+  obs::Gauge* up_gauge_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* bad_requests_counter_ = nullptr;
+  obs::Counter* sessions_counter_ = nullptr;
+  obs::Counter* bytes_in_counter_ = nullptr;
+  obs::Counter* bytes_out_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* active_sessions_gauge_ = nullptr;
+  obs::Gauge* worker_utilization_gauge_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  /// Per-op handler latency, indexed by op byte (kPing..kRestoreRows).
+  std::vector<obs::Histogram*> op_us_by_op_;
 };
 
 }  // namespace net

@@ -123,6 +123,34 @@ Status PayloadReader::ExpectEnd() const {
   return Status::OK();
 }
 
+void BeginRequest(PayloadWriter* w, PsOp op, uint64_t trace_id,
+                  uint64_t parent_span_id) {
+  uint8_t op_byte = static_cast<uint8_t>(op);
+  if (trace_id != 0) op_byte |= kTraceFlag;
+  w->PutU8(op_byte);
+  if (trace_id != 0) {
+    w->PutU64(trace_id);
+    w->PutU64(parent_span_id);
+  }
+}
+
+Status DecodeRequestEnvelope(PayloadReader* r, RequestEnvelope* out) {
+  uint8_t op_byte = 0;
+  MAMDR_RETURN_IF_ERROR(r->GetU8(&op_byte));
+  out->op = static_cast<uint8_t>(op_byte & ~kTraceFlag);
+  out->trace_id = 0;
+  out->parent_span_id = 0;
+  if ((op_byte & kTraceFlag) != 0) {
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&out->trace_id));
+    MAMDR_RETURN_IF_ERROR(r->GetU64(&out->parent_span_id));
+    if (out->trace_id == 0) {
+      return Status::InvalidArgument(
+          "ps wire: flagged trace context with zero trace_id");
+    }
+  }
+  return Status::OK();
+}
+
 uint8_t StatusCodeToWire(StatusCode code) {
   return static_cast<uint8_t>(code);
 }

@@ -10,8 +10,15 @@
 // protocol-level confusion (stale client, truncated-but-CRC-valid replay)
 // dies here.
 //
-// Request payload:   u8 op  |  op-specific body (see PsOp)
+// Request payload:   u8 op  |  [trace context]  |  op-specific body (PsOp)
 // Response payload:  u8 status code  |  string message  |  ok-only body
+//
+// The op byte's top bit (kTraceFlag) version-gates an optional distributed
+// trace context — u64 trace_id | u64 parent span_id — between the op byte
+// and the body. Op values stay below 0x80, so a peer that predates tracing
+// decodes untraced frames unchanged and rejects a flagged frame at its
+// op-byte check instead of misparsing it; clients only set the flag while
+// a trace is actually recording.
 //
 // A `string` is u32 length + raw bytes; f32 arrays are u64 count + IEEE
 // floats; row ids are i64 carried as u64 two's complement.
@@ -49,6 +56,18 @@ enum class PsOp : uint8_t {
   /// Like kPushRows but assignment: u32 param_idx, u64 nrows, nrows×i64,
   /// u64 dim, f32[nrows*dim].
   kRestoreRows = 7,
+};
+
+/// Top bit of the request op byte: "a trace context follows". Every PsOp
+/// value must stay below this.
+constexpr uint8_t kTraceFlag = 0x80;
+
+/// Decoded request header: which op, and (when the frame was flagged) the
+/// distributed-trace identity of the client span that issued it.
+struct RequestEnvelope {
+  uint8_t op = 0;  // raw op value, flag stripped; validate against PsOp
+  uint64_t trace_id = 0;  // 0 = untraced request
+  uint64_t parent_span_id = 0;
 };
 
 /// Little-endian payload builder.
@@ -96,6 +115,15 @@ class PayloadReader {
   const std::string& buf_;
   size_t pos_ = 0;
 };
+
+/// Write the request header: op byte (flagged iff trace_id != 0) plus the
+/// trace context when present. The op body is appended by the caller.
+void BeginRequest(PayloadWriter* w, PsOp op, uint64_t trace_id,
+                  uint64_t parent_span_id);
+
+/// Parse the request header, leaving `r` positioned at the op body. A
+/// flagged frame whose context is truncated fails kInvalidArgument.
+Status DecodeRequestEnvelope(PayloadReader* r, RequestEnvelope* out);
 
 /// Status code <-> wire byte. FromWire rejects bytes outside the enum.
 uint8_t StatusCodeToWire(StatusCode code);

@@ -230,6 +230,46 @@ TEST(MetricsServerTest, SlowClientIsShutDownAndServerStaysLive) {
   server.Stop();
 }
 
+TEST(MetricsServerTest, MetricsRegisteredAfterFirstScrapeAppearInNext) {
+  // Per-shard series register lazily (a ShardServer registers its op
+  // histograms in its constructor, which can run long after the metrics
+  // endpoint started serving). The exposition must be a fresh registry
+  // snapshot per scrape — a cached render would pin the first scrape's
+  // metric set forever.
+  obs::Registry reg;
+  reg.counter("ps.net.shard.requests{shard=\"0\"}",
+              obs::Stability::kRuntime)->Add(2);
+  MetricsServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const std::string first = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(first.find("mamdr_ps_net_shard_requests{shard=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_EQ(first.find("mamdr_ps_net_shard_op_us"), std::string::npos);
+
+  // Register a histogram family and a new labelled counter *after* the
+  // first scrape, as a freshly spawned shard would.
+  obs::Histogram* h = reg.histogram(
+      "ps.net.shard.op_us{shard=\"1\",op=\"ping\"}",
+      obs::Histogram::ExponentialBounds(10.0, 2.0, 4),
+      obs::Stability::kRuntime);
+  h->Observe(15.0);
+  reg.counter("ps.net.client.pool.dials", obs::Stability::kRuntime)->Add(5);
+
+  const std::string second = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(second.find("# TYPE mamdr_ps_net_shard_op_us histogram"),
+            std::string::npos);
+  EXPECT_NE(second.find("mamdr_ps_net_shard_op_us_count"
+                        "{shard=\"1\",op=\"ping\"} 1"),
+            std::string::npos);
+  EXPECT_NE(second.find("mamdr_ps_net_client_pool_dials 5"),
+            std::string::npos);
+  // The pre-existing series is still there.
+  EXPECT_NE(second.find("mamdr_ps_net_shard_requests{shard=\"0\"} 2"),
+            std::string::npos);
+  server.Stop();
+}
+
 TEST(MetricsServerTest, RejectsBadPort) {
   obs::Registry reg;
   MetricsServer server(&reg);

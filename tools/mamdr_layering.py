@@ -61,7 +61,9 @@ MODULE_DEPS: Dict[str, Tuple[str, ...]] = {
     "core": ("models", "metrics", "optim"),
     "checkpoint": ("core",),
     "serve": ("models", "metrics"),
-    "ps": ("core", "checkpoint"),
+    # ps -> serve: each ShardServer can expose its own Prometheus endpoint
+    # (serve::MetricsServer). Acyclic — serve never includes ps.
+    "ps": ("core", "checkpoint", "serve"),
 }
 
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")

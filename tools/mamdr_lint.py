@@ -31,6 +31,16 @@ the offending line):
                   exception, the metrics server's slow-client deadline,
                   became a CondVar::WaitFor timed wait); everywhere else
                   the rule is absolute.
+  net-raw-clock   any raw clock read — ``steady_clock``/``system_clock``/
+                  ``high_resolution_clock`` ``::now()``, ``clock_gettime``,
+                  ``gettimeofday`` — inside src/ps/net. Stricter than
+                  raw-clock (more spellings) and absolute: no allow comment
+                  is honored, ever. The networked PS is the one subsystem
+                  where timestamps cross process boundaries (span start
+                  times, queue-wait attribution, trace files that
+                  mamdr_tracemerge.py aligns across shards); a single
+                  off-funnel clock read there silently breaks the merged
+                  timeline rather than one local measurement.
   native-mutex    ``std::mutex`` / ``std::lock_guard`` / ``std::unique_lock``
                   (or any other <mutex>/<condition_variable> primitive)
                   outside common/mutex.h. All locking flows through the
@@ -112,6 +122,13 @@ RAW_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
 # mechanism stays so the next genuine exception is a one-line reviewed
 # change here instead of a new rule carve-out.
 RAW_CLOCK_COMMENT_ALLOWED = ()
+# src/ps/net only: every clock spelling that could leak wall/monotonic time
+# around the obs funnel. Timestamps from this subsystem end up in per-shard
+# trace files that mamdr_tracemerge.py aligns into one timeline, so the
+# rule is absolute — there is no allow comment and no file exemption.
+NET_RAW_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(")
 # Raw standard-library locking primitives. Everything in <mutex> and
 # <condition_variable> that code would name directly; common/mutex.h is
 # exempt (it wraps these), everyone else goes through mamdr::Mutex.
@@ -240,6 +257,7 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
     status_file = _in_dir(rel_path, "src/ps", "src/checkpoint")
     clock_blessed_file = _in_dir(rel_path, "src/obs", "src/common")
     clock_comment_ok = rel_path in RAW_CLOCK_COMMENT_ALLOWED
+    net_clock_file = _in_dir(rel_path, "src/ps/net")
     mutex_wrapper_file = rel_path in NATIVE_MUTEX_EXEMPT
     socket_wrapper_file = rel_path in RAW_SOCKET_EXEMPT
     hot_path_file = HOT_PATH_MARKER_RE.search(text) is not None
@@ -279,6 +297,15 @@ def lint_text(rel_path: str, text: str) -> List[Finding]:
                     Finding(rel_path, i, "raw-clock",
                             "read time via obs::MonotonicMicros()/"
                             "MonotonicSeconds(), not steady_clock::now()"))
+        if net_clock_file:
+            # Deliberately ignores `allowed`: this rule has no escape hatch.
+            if NET_RAW_CLOCK_RE.search(line):
+                findings.append(
+                    Finding(rel_path, i, "net-raw-clock",
+                            "raw clock read in src/ps/net; all networked-PS "
+                            "timing must flow through obs::MonotonicMicros() "
+                            "so merged traces share one timeline (no allow "
+                            "comment honored)"))
         if not mutex_wrapper_file and "native-mutex" not in allowed:
             if NATIVE_MUTEX_RE.search(line):
                 findings.append(

@@ -170,6 +170,56 @@ class RawClockRule(unittest.TestCase):
         self.assertEqual(rules(findings), [])
 
 
+class NetRawClockRule(unittest.TestCase):
+    def test_flags_every_spelling_in_ps_net(self):
+        for snippet in (
+                "auto t = std::chrono::steady_clock::now();\n",
+                "auto t = std::chrono::system_clock::now();\n",
+                "auto t = std::chrono::high_resolution_clock::now();\n",
+                "clock_gettime(CLOCK_MONOTONIC, &ts);\n",
+                "gettimeofday(&tv, nullptr);\n"):
+            findings = mamdr_lint.lint_text(
+                "src/ps/net/shard_server.cc", snippet)
+            self.assertIn("net-raw-clock", rules(findings), snippet)
+
+    def test_steady_clock_in_ps_net_flags_both_rules(self):
+        # steady_clock::now() in ps/net trips the general funnel rule and
+        # the stricter net rule; both fire so neither weakening goes
+        # unnoticed.
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/net_ps_client.cc",
+            "  auto t = std::chrono::steady_clock::now();\n")
+        self.assertIn("net-raw-clock", rules(findings))
+        self.assertIn("raw-clock", rules(findings))
+
+    def test_allow_comment_is_not_honored(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/wire.cc",
+            "  gettimeofday(&tv, nullptr);"
+            "  // mamdr-lint: allow(net-raw-clock)\n")
+        self.assertEqual(rules(findings), ["net-raw-clock"])
+
+    def test_outside_ps_net_not_covered(self):
+        # system_clock in src/core is (only) the general rule's business —
+        # which deliberately does not match it.
+        findings = mamdr_lint.lint_text(
+            "src/core/framework.cc",
+            "  auto t = std::chrono::system_clock::now();\n")
+        self.assertNotIn("net-raw-clock", rules(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/shard_server.cc",
+            "// never call gettimeofday( here; use obs::MonotonicMicros\n")
+        self.assertEqual(rules(findings), [])
+
+    def test_monotonic_micros_is_fine(self):
+        findings = mamdr_lint.lint_text(
+            "src/ps/net/shard_server.cc",
+            "  const int64_t now = obs::MonotonicMicros();\n")
+        self.assertEqual(rules(findings), [])
+
+
 class NativeMutexRule(unittest.TestCase):
     def test_flags_std_mutex_member(self):
         findings = mamdr_lint.lint_text(

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Merge per-process MAMDR Chrome-trace files into one timeline.
+
+Every traced process (the training client, each shard server) writes its
+own Chrome-trace JSON document via obs::TraceRecorder — events carry
+``ts`` values rebased to that recorder's private epoch, and the document
+trailer records the epoch under ``mamdrMeta.base_us`` (the absolute
+obs::MonotonicMicros() reading at Start()). This tool stitches N such
+files into a single document chrome://tracing / Perfetto can open, with
+every span on one shared timeline:
+
+  1. Each event is lifted to absolute time: ``ts + base_us``.
+  2. When the processes do NOT share a monotonic clock (separate machines,
+     or separate processes on a platform with per-process epochs), the
+     residual per-file offset is estimated from ping RPCs: a client span
+     ``ps.client.attempt:ping`` / ``ps.client.rpc:ping`` and the server
+     span ``ps.shard.handle:ping`` carrying the *same trace_id* are two
+     views of one wire exchange, so the server span must sit inside the
+     client span; the median midpoint difference over all such pairs is
+     that server file's clock offset. ``--align ping`` applies it,
+     ``--align meta`` (default) trusts base_us alone — correct whenever
+     all processes run on one machine, which is what ShardGroup does.
+  3. Colliding pids between files are renumbered (first file wins) so the
+     viewer never folds two processes into one row group.
+  4. Events are emitted sorted by timestamp; span identities
+     (``args.trace_id`` / ``span_id`` / ``parent_span_id``) pass through
+     untouched, so cross-process parent links keep resolving after the
+     merge.
+
+Usage:
+  tools/mamdr_tracemerge.py -o merged.json client.json shard-*.json
+
+Exit status 0 = merged, 1 = bad input (unparseable file, no events), 2 =
+usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+# Span names forming a ping pair: one wire exchange seen from both ends.
+CLIENT_PING_NAMES = ("ps.client.attempt:ping", "ps.client.rpc:ping")
+SERVER_PING_NAME = "ps.shard.handle:ping"
+
+
+class TraceFile:
+    """One parsed per-process trace document."""
+
+    def __init__(self, path: str, doc: dict):
+        self.path = path
+        meta = doc.get("mamdrMeta", {})
+        self.base_us = int(meta.get("base_us", 0))
+        self.pid = meta.get("pid")
+        self.process = meta.get("process", "")
+        self.events: List[dict] = list(doc.get("traceEvents", []))
+        self.offset_us = 0  # ping-estimated residual clock offset
+
+    def span_events(self) -> List[dict]:
+        return [e for e in self.events if e.get("ph") == "X"]
+
+    def absolute_ts(self, event: dict) -> float:
+        return float(event["ts"]) + self.base_us + self.offset_us
+
+
+def load_trace(path: str) -> TraceFile:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents)")
+    return TraceFile(path, doc)
+
+
+def _trace_id(event: dict) -> Optional[str]:
+    args = event.get("args")
+    if isinstance(args, dict):
+        tid = args.get("trace_id")
+        if isinstance(tid, str):
+            return tid
+    return None
+
+
+def _midpoint(tf: TraceFile, event: dict) -> float:
+    return tf.absolute_ts(event) + float(event.get("dur", 0)) / 2.0
+
+
+def ping_pairs(client: TraceFile,
+               server: TraceFile) -> List[Tuple[dict, dict]]:
+    """Matched (client span, server span) ping exchanges, by trace_id.
+
+    Client attempt spans are preferred over rpc spans: the attempt is the
+    tightest bracket around the wire exchange, so the offset estimate
+    carries the least client-side slack.
+    """
+    by_id: Dict[str, dict] = {}
+    for e in client.span_events():
+        tid = _trace_id(e)
+        if tid is None or e.get("name") not in CLIENT_PING_NAMES:
+            continue
+        prev = by_id.get(tid)
+        if prev is None or (e["name"] == CLIENT_PING_NAMES[0]
+                            and prev["name"] != CLIENT_PING_NAMES[0]):
+            by_id[tid] = e
+    pairs = []
+    for e in server.span_events():
+        if e.get("name") != SERVER_PING_NAME:
+            continue
+        tid = _trace_id(e)
+        if tid is not None and tid in by_id:
+            pairs.append((by_id[tid], e))
+    return pairs
+
+
+def estimate_offset(client: TraceFile, server: TraceFile) -> Optional[int]:
+    """Median clock offset to add to `server` timestamps, or None.
+
+    For each ping pair the true server-side work sits inside the client
+    span, so with synchronized clocks the midpoints coincide up to network
+    asymmetry. The median midpoint difference is therefore the server
+    clock's offset from the client clock.
+    """
+    pairs = ping_pairs(client, server)
+    if not pairs:
+        return None
+    deltas = sorted(_midpoint(client, c) - _midpoint(server, s)
+                    for c, s in pairs)
+    return int(round(deltas[len(deltas) // 2]))
+
+
+def assign_pids(files: List[TraceFile]) -> Dict[str, int]:
+    """Collision-free pid per file (keyed by path); first claim wins."""
+    taken: Dict[int, str] = {}
+    out: Dict[str, int] = {}
+    next_free = 1
+    for tf in files:
+        pid = tf.pid if isinstance(tf.pid, int) else None
+        if pid is None or pid in taken:
+            while next_free in taken:
+                next_free += 1
+            pid = next_free
+        taken[pid] = tf.path
+        out[tf.path] = pid
+    return out
+
+
+def merge(files: List[TraceFile], align: str) -> dict:
+    """Merge parsed trace files into one Chrome-trace document."""
+    if align == "ping":
+        # The file holding client ping spans is the reference clock; every
+        # other file gets its ping-estimated offset (files without pairs —
+        # including the reference itself — keep base_us alignment).
+        reference = None
+        for tf in files:
+            if any(e.get("name") in CLIENT_PING_NAMES
+                   for e in tf.span_events()):
+                reference = tf
+                break
+        if reference is not None:
+            for tf in files:
+                if tf is reference:
+                    continue
+                offset = estimate_offset(reference, tf)
+                if offset is not None:
+                    tf.offset_us = offset
+
+    pids = assign_pids(files)
+    all_abs = [tf.absolute_ts(e) for tf in files for e in tf.span_events()]
+    origin = min(all_abs) if all_abs else 0.0
+
+    merged: List[dict] = []
+    for tf in files:
+        pid = pids[tf.path]
+        for e in tf.events:
+            out = dict(e)
+            out["pid"] = pid
+            if e.get("ph") == "X":
+                out["ts"] = int(round(tf.absolute_ts(e) - origin))
+            merged.append(out)
+    merged.sort(key=lambda e: (0 if e.get("ph") == "M" else 1,
+                               e.get("ts", 0), e.get("pid", 0),
+                               e.get("tid", 0)))
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "mamdrMeta": {
+            "merged": True,
+            "align": align,
+            "sources": [
+                {"path": tf.path, "pid": pids[tf.path],
+                 "process": tf.process, "base_us": tf.base_us,
+                 "offset_us": tf.offset_us}
+                for tf in files
+            ],
+        },
+    }
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="per-process trace files (client first is "
+                             "conventional but not required)")
+    parser.add_argument("-o", "--output", required=True,
+                        help="merged trace file to write")
+    parser.add_argument("--align", choices=("meta", "ping"), default="meta",
+                        help="clock alignment: 'meta' trusts each file's "
+                             "mamdrMeta.base_us (one shared monotonic "
+                             "clock); 'ping' additionally corrects each "
+                             "server file by the median ping-pair offset")
+    args = parser.parse_args(argv)
+
+    files: List[TraceFile] = []
+    for path in args.inputs:
+        try:
+            files.append(load_trace(path))
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"mamdr_tracemerge: {e}", file=sys.stderr)
+            return 1
+    if not any(tf.span_events() for tf in files):
+        print("mamdr_tracemerge: no span events in any input",
+              file=sys.stderr)
+        return 1
+
+    doc = merge(files, args.align)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(doc, f, separators=(",", ":"))
+        f.write("\n")
+    n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    print(f"mamdr_tracemerge: {len(files)} files -> {args.output} "
+          f"({n} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

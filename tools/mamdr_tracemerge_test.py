@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/mamdr_tracemerge.py.
+
+Fixtures are built in-memory in the exact shape obs::TraceRecorder::Json()
+emits: ``traceEvents`` with ``ph:"X"`` spans whose ``ts`` is rebased to the
+recorder's epoch, an optional ``ph:"M"`` process_name metadata event, and a
+``mamdrMeta`` trailer carrying that epoch (``base_us``), the pid, and the
+process name.
+
+Run directly (``python3 tools/mamdr_tracemerge_test.py``) or via ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+import mamdr_tracemerge as tm
+
+
+def span(name, ts, dur, tid=0, trace_id=None, span_id=None, parent=None,
+         **tags):
+    e = {"name": name, "cat": "t", "ph": "X", "ts": ts, "dur": dur,
+         "pid": 1, "tid": tid}
+    args = {}
+    if trace_id is not None:
+        args["trace_id"] = trace_id
+        args["span_id"] = span_id or "0x1"
+        if parent is not None:
+            args["parent_span_id"] = parent
+    args.update(tags)
+    if args:
+        e["args"] = args
+    return e
+
+
+def doc(events, base_us, pid, process):
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "mamdrMeta": {"base_us": base_us, "pid": pid,
+                          "process": process}}
+
+
+def tracefile(events, base_us=0, pid=1, process="p", path="mem"):
+    return tm.TraceFile(path, doc(events, base_us, pid, process))
+
+
+def spans_of(merged):
+    return [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+
+
+class MetaAlignment(unittest.TestCase):
+    def test_base_us_lifts_to_shared_timeline(self):
+        # Client epoch 1000, shard epoch 1500: a shard span at local ts 0
+        # really started 500us after a client span at local ts 0.
+        client = tracefile([span("a", 0, 100)], base_us=1000, path="c")
+        shard = tracefile([span("b", 0, 100)], base_us=1500, path="s")
+        merged = tm.merge([client, shard], align="meta")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["a"]["ts"], 0)
+        self.assertEqual(by_name["b"]["ts"], 500)
+
+    def test_origin_is_earliest_span(self):
+        a = tracefile([span("a", 40, 5)], base_us=100, path="a")
+        b = tracefile([span("b", 0, 5)], base_us=90, path="b")
+        merged = tm.merge([a, b], align="meta")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["b"]["ts"], 0)    # 90 is the origin
+        self.assertEqual(by_name["a"]["ts"], 50)   # 140 - 90
+
+    def test_span_identity_args_pass_through(self):
+        f = tracefile(
+            [span("x", 0, 1, trace_id="0xabc", span_id="0x2",
+                  parent="0x1", shard="3")], path="f")
+        merged = tm.merge([f], align="meta")
+        args = spans_of(merged)[0]["args"]
+        self.assertEqual(args["trace_id"], "0xabc")
+        self.assertEqual(args["span_id"], "0x2")
+        self.assertEqual(args["parent_span_id"], "0x1")
+        self.assertEqual(args["shard"], "3")
+
+
+class PidHandling(unittest.TestCase):
+    def test_colliding_pids_are_renumbered(self):
+        a = tracefile([span("a", 0, 1)], pid=7, path="a")
+        b = tracefile([span("b", 0, 1)], pid=7, path="b")
+        merged = tm.merge([a, b], align="meta")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["a"]["pid"], 7)  # first claim wins
+        self.assertNotEqual(by_name["b"]["pid"], 7)
+
+    def test_distinct_pids_are_kept(self):
+        client = tracefile([span("a", 0, 1)], pid=1, path="c")
+        shard = tracefile([span("b", 0, 1)], pid=1000, path="s")
+        merged = tm.merge([client, shard], align="meta")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["a"]["pid"], 1)
+        self.assertEqual(by_name["b"]["pid"], 1000)
+
+    def test_metadata_events_follow_their_process(self):
+        meta_event = {"name": "process_name", "ph": "M", "pid": 7,
+                      "tid": 0, "args": {"name": "shard-0"}}
+        a = tracefile([span("a", 0, 1)], pid=7, path="a")
+        b = tm.TraceFile("b", doc([meta_event, span("b", 0, 1)],
+                                  base_us=0, pid=7, process="shard-0"))
+        merged = tm.merge([a, b], align="meta")
+        metas = [e for e in merged["traceEvents"] if e.get("ph") == "M"]
+        self.assertEqual(len(metas), 1)
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        # The renumbered pid applies to the metadata event too, so the
+        # process row keeps its name.
+        self.assertEqual(metas[0]["pid"], by_name["b"]["pid"])
+
+
+class PingAlignment(unittest.TestCase):
+    def _fixture(self, shard_base_error):
+        # Truth: the ping wire exchange spans [100, 160] on the client; the
+        # server handled it in the middle, [120, 140] in true time. The
+        # shard's own epoch is off by `shard_base_error`, which meta
+        # alignment cannot see.
+        client = tracefile(
+            [span("ps.client.attempt:ping", 100, 60, trace_id="0x1")],
+            base_us=0, path="c")
+        shard = tracefile(
+            [span("ps.shard.handle:ping", 120 + shard_base_error, 20,
+                  trace_id="0x1"),
+             span("ps.shard.apply", 125 + shard_base_error, 5,
+                  trace_id="0x1")],
+            base_us=0, pid=1000, path="s")
+        return client, shard
+
+    def test_ping_offset_recovers_true_timeline(self):
+        client, shard = self._fixture(shard_base_error=5000)
+        merged = tm.merge([client, shard], align="ping")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["ps.shard.handle:ping"]["ts"],
+                         by_name["ps.client.attempt:ping"]["ts"] + 20)
+        # Every span of the shard file shifts by the same estimate.
+        self.assertEqual(by_name["ps.shard.apply"]["ts"],
+                         by_name["ps.client.attempt:ping"]["ts"] + 25)
+
+    def test_ping_offset_handles_negative_error(self):
+        client, shard = self._fixture(shard_base_error=-3000)
+        merged = tm.merge([client, shard], align="ping")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["ps.shard.handle:ping"]["ts"],
+                         by_name["ps.client.attempt:ping"]["ts"] + 20)
+
+    def test_meta_mode_does_not_shift(self):
+        client, shard = self._fixture(shard_base_error=5000)
+        merged = tm.merge([client, shard], align="meta")
+        by_name = {e["name"]: e for e in spans_of(merged)}
+        self.assertEqual(by_name["ps.shard.handle:ping"]["ts"],
+                         by_name["ps.client.attempt:ping"]["ts"] + 5020)
+
+    def test_no_pairs_falls_back_to_meta(self):
+        client = tracefile([span("ps.client.rpc:pull_rows", 0, 10,
+                                 trace_id="0x9")], path="c")
+        shard = tracefile([span("ps.shard.handle:pull_rows", 2, 6,
+                                trace_id="0x9")], base_us=0, path="s")
+        merged = tm.merge([client, shard], align="ping")
+        self.assertEqual(merged["mamdrMeta"]["sources"][1]["offset_us"], 0)
+
+    def test_median_over_multiple_pings(self):
+        client = tracefile(
+            [span("ps.client.attempt:ping", 100, 60, trace_id="0x1"),
+             span("ps.client.attempt:ping", 300, 60, trace_id="0x2"),
+             span("ps.client.attempt:ping", 500, 60, trace_id="0x3")],
+            path="c")
+        # One outlier pair (queue delay skews its midpoint); the median
+        # ignores it.
+        shard = tracefile(
+            [span("ps.shard.handle:ping", 1120, 20, trace_id="0x1"),
+             span("ps.shard.handle:ping", 1320, 20, trace_id="0x2"),
+             span("ps.shard.handle:ping", 1560, 20, trace_id="0x3")],
+            path="s")
+        client2, shard2 = client, shard
+        tm.merge([client2, shard2], align="ping")
+        self.assertEqual(shard2.offset_us, -1000)
+
+
+class CommandLine(unittest.TestCase):
+    def test_end_to_end_merge(self):
+        tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "mamdr_tracemerge.py")
+        with tempfile.TemporaryDirectory() as tmp:
+            c_path = os.path.join(tmp, "client.json")
+            s_path = os.path.join(tmp, "shard-0.json")
+            out = os.path.join(tmp, "merged.json")
+            with open(c_path, "w") as f:
+                json.dump(doc([span("a", 0, 10, trace_id="0x5")],
+                              base_us=50, pid=1, process="trainer"), f)
+            with open(s_path, "w") as f:
+                json.dump(doc([span("b", 0, 4, trace_id="0x5")],
+                              base_us=53, pid=1000, process="shard-0"), f)
+            proc = subprocess.run(
+                [sys.executable, tool, "-o", out, c_path, s_path],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            with open(out) as f:
+                merged = json.load(f)
+            names = [e["name"] for e in spans_of(merged)]
+            self.assertEqual(sorted(names), ["a", "b"])
+            self.assertTrue(merged["mamdrMeta"]["merged"])
+
+    def test_rejects_non_trace_input(self):
+        tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "mamdr_tracemerge.py")
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.json")
+            with open(bad, "w") as f:
+                f.write("{}")
+            proc = subprocess.run(
+                [sys.executable, tool, "-o",
+                 os.path.join(tmp, "out.json"), bad],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("traceEvents", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
